@@ -1,0 +1,118 @@
+//! Regenerates Figure 8: sensitivity of the UFO hybrid to contention-
+//! management policy choices, on the high-contention workloads.
+//!
+//! Bars (as in the paper):
+//! 1. requester-wins hardware CM (+ failover after 5 contention aborts,
+//!    which such policies need to avoid livelock),
+//! 2. age-ordered CM but failing over on the 5th contention abort,
+//! 3. as (2) but hardware transactions stall instead of aborting on UFO
+//!    faults,
+//! 4. limit study: UFO-bit sets only kill true conflicts,
+//!
+//! all against the paper's recommended baseline (age CM, never fail over
+//! on contention, abort-and-retry on UFO faults).
+
+use ufotm_bench::{header, quick, speedup};
+use ufotm_core::{HybridPolicy, SystemKind};
+use ufotm_machine::{HwCmPolicy, UfoKillPolicy};
+use ufotm_stamp::harness::{RunOutcome, RunSpec};
+use ufotm_stamp::{genome, kmeans};
+
+struct Config {
+    name: &'static str,
+    policy: HybridPolicy,
+    hw_cm: HwCmPolicy,
+    ufo_kill: UfoKillPolicy,
+    owner_state_sets: bool,
+}
+
+fn configs() -> Vec<Config> {
+    vec![
+        Config {
+            name: "baseline (age CM, no contention failover)",
+            policy: HybridPolicy::default(),
+            hw_cm: HwCmPolicy::AgeOrdered,
+            ufo_kill: UfoKillPolicy::AllSpeculativeHolders,
+            owner_state_sets: false,
+        },
+        Config {
+            name: "1: requester-wins HW CM (+failover@5)",
+            policy: HybridPolicy::failover_on_nth_conflict(5),
+            hw_cm: HwCmPolicy::RequesterWins,
+            ufo_kill: UfoKillPolicy::AllSpeculativeHolders,
+            owner_state_sets: false,
+        },
+        Config {
+            name: "2: failover on 5th contention abort",
+            policy: HybridPolicy::failover_on_nth_conflict(5),
+            hw_cm: HwCmPolicy::AgeOrdered,
+            ufo_kill: UfoKillPolicy::AllSpeculativeHolders,
+            owner_state_sets: false,
+        },
+        Config {
+            name: "3: (2) + stall on UFO faults",
+            policy: {
+                let mut p = HybridPolicy::failover_on_nth_conflict(5);
+                p.btm_ufo_fault = ufotm_core::BtmUfoFaultPolicy::Stall;
+                p
+            },
+            hw_cm: HwCmPolicy::AgeOrdered,
+            ufo_kill: UfoKillPolicy::AllSpeculativeHolders,
+            owner_state_sets: false,
+        },
+        Config {
+            name: "4: limit study, true-conflict UFO kills only",
+            policy: HybridPolicy::default(),
+            hw_cm: HwCmPolicy::AgeOrdered,
+            ufo_kill: UfoKillPolicy::TrueConflictsOnly,
+            owner_state_sets: false,
+        },
+        Config {
+            name: "5: owner-state UFO sets (the paper's proposed fix)",
+            policy: HybridPolicy::default(),
+            hw_cm: HwCmPolicy::AgeOrdered,
+            ufo_kill: UfoKillPolicy::AllSpeculativeHolders,
+            owner_state_sets: true,
+        },
+    ]
+}
+
+fn run_with(cfgs: &[Config], threads: usize, f: &dyn Fn(&RunSpec) -> RunOutcome) {
+    let mut baseline = 0u64;
+    for (i, c) in cfgs.iter().enumerate() {
+        let mut spec = RunSpec::new(SystemKind::UfoHybrid, threads);
+        spec.policy = c.policy;
+        spec.machine.hw_cm = c.hw_cm;
+        spec.machine.ufo_kill_policy = c.ufo_kill;
+        spec.machine.ufo_owner_state_sets = c.owner_state_sets;
+        let out = f(&spec);
+        if i == 0 {
+            baseline = out.makespan;
+        }
+        println!(
+            "  {:<46} makespan={:>12}  rel. perf={:>6.2}x  sw={:>5} aborts={:>6}",
+            c.name,
+            out.makespan,
+            speedup(baseline, out.makespan),
+            out.sw_commits,
+            out.total_aborts()
+        );
+    }
+}
+
+fn main() {
+    header("Figure 8 — contention-management sensitivity (UFO hybrid)");
+    let threads = if quick() { 4 } else { 8 };
+    let scale = |n: usize| if quick() { n / 3 } else { n };
+    let cfgs = configs();
+
+    println!();
+    println!("[genome]");
+    let gen = genome::GenomeParams { segments: scale(384), ..genome::GenomeParams::standard() };
+    run_with(&cfgs, threads, &|s| genome::run(s, &gen));
+
+    println!();
+    println!("[kmeans high contention]");
+    let km = kmeans::KmeansParams { points: scale(768), ..kmeans::KmeansParams::high_contention() };
+    run_with(&cfgs, threads, &|s| kmeans::run(s, &km));
+}

@@ -1,0 +1,192 @@
+//! # `ufotm-bench` — the benchmark harness
+//!
+//! One bench target per table/figure of the paper's evaluation (run with
+//! `cargo bench`):
+//!
+//! | target | regenerates |
+//! |--------|-------------|
+//! | `table4`          | Table 4 (simulation parameters) |
+//! | `fig5_speedup`    | Figure 5 (speedup vs. sequential, per workload × system × threads) |
+//! | `fig6_aborts`     | Figure 6 (hardware abort-reason breakdown per hybrid) |
+//! | `fig7_failover`   | Figure 7a/7b (microbenchmark speedup vs. failover rate, 0 % overheads, UFO/HyTM crossover) |
+//! | `fig8_sensitivity`| Figure 8 (contention-management policy sensitivity) |
+//! | `appendix_swap`   | Appendix A (UFO bits across paging; all-clear fast path) |
+//! | `criterion_micro` | wall-time microbenchmarks of the substrate itself |
+//!
+//! Set `UFOTM_BENCH_QUICK=1` to shrink sweeps for smoke runs.
+//!
+//! Absolute simulated-cycle numbers differ from the paper's testbed; the
+//! *shapes* (orderings, crossovers, degradation modes) are the reproduction
+//! target — see EXPERIMENTS.md for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use ufotm_core::SystemKind;
+use ufotm_machine::AbortReason;
+use ufotm_stamp::harness::{RunOutcome, RunSpec};
+
+/// Whether quick (smoke-test) mode is requested.
+#[must_use]
+pub fn quick() -> bool {
+    std::env::var("UFOTM_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// The thread counts swept by the figures.
+#[must_use]
+pub fn thread_counts() -> Vec<usize> {
+    if quick() {
+        vec![1, 4]
+    } else {
+        vec![1, 2, 4, 8]
+    }
+}
+
+/// The systems plotted in Figure 5, in the paper's legend order.
+#[must_use]
+pub fn fig5_systems() -> Vec<SystemKind> {
+    vec![
+        SystemKind::UnboundedHtm,
+        SystemKind::UfoHybrid,
+        SystemKind::HyTm,
+        SystemKind::PhTm,
+        SystemKind::UstmStrong,
+        SystemKind::UstmWeak,
+        SystemKind::Tl2,
+    ]
+}
+
+/// Formats a speedup as the paper's figures would plot it.
+#[must_use]
+pub fn speedup(seq_makespan: u64, makespan: u64) -> f64 {
+    seq_makespan as f64 / makespan.max(1) as f64
+}
+
+/// Prints one figure header.
+pub fn header(title: &str) {
+    println!();
+    println!("================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+/// Prints a speedup table: rows = systems, columns = thread counts.
+pub fn print_speedup_table(
+    workload: &str,
+    threads: &[usize],
+    rows: &[(SystemKind, Vec<f64>)],
+) {
+    println!();
+    println!("-- {workload}: speedup over sequential --");
+    print!("{:<14}", "system");
+    for t in threads {
+        print!("{t:>8}T");
+    }
+    println!();
+    for (kind, speedups) in rows {
+        print!("{:<14}", kind.label());
+        for s in speedups {
+            print!("{s:>9.2}");
+        }
+        println!();
+    }
+}
+
+/// The Figure 6 abort buckets, in presentation order.
+#[must_use]
+pub fn fig6_buckets() -> Vec<(&'static str, Vec<AbortReason>)> {
+    vec![
+        ("conflict", vec![AbortReason::Conflict]),
+        ("nonT-conflict", vec![AbortReason::NonTConflict]),
+        ("ufo-set", vec![AbortReason::UfoSet]),
+        ("ufo-fault", vec![AbortReason::UfoFault]),
+        ("overflow", vec![AbortReason::Overflow]),
+        ("explicit", vec![AbortReason::Explicit]),
+        (
+            "recoverable",
+            vec![AbortReason::Interrupt, AbortReason::PageFault],
+        ),
+        (
+            "unsupported",
+            vec![
+                AbortReason::Syscall,
+                AbortReason::Io,
+                AbortReason::Exception,
+                AbortReason::Uncacheable,
+                AbortReason::DepthOverflow,
+                AbortReason::IllegalOp,
+            ],
+        ),
+    ]
+}
+
+/// Prints the Figure 6 abort-breakdown table for a set of outcomes.
+pub fn print_abort_breakdown(workload: &str, outcomes: &[&RunOutcome]) {
+    println!();
+    println!("-- {workload}: HTM aborts per 100 committed txns --");
+    print!("{:<14}", "system");
+    for (name, _) in fig6_buckets() {
+        print!("{name:>14}");
+    }
+    println!("{:>10}", "commits");
+    for o in outcomes {
+        print!("{:<14}", o.kind.label());
+        let commits = o.total_commits().max(1) as f64;
+        for (_, reasons) in fig6_buckets() {
+            let n: u64 = reasons.iter().map(|&r| o.aborts_for(r)).sum();
+            print!("{:>14.1}", n as f64 * 100.0 / commits);
+        }
+        println!("{:>10}", o.total_commits());
+    }
+}
+
+/// Summarizes an outcome into a one-line record (for EXPERIMENTS.md).
+#[must_use]
+pub fn one_line(o: &RunOutcome) -> String {
+    format!(
+        "{:<14} {}T makespan={:>12} hw={:>6} sw={:>6} aborts={:>6} failovers={:>4}",
+        o.kind.label(),
+        o.threads,
+        o.makespan,
+        o.hw_commits,
+        o.sw_commits,
+        o.total_aborts(),
+        o.failovers.values().sum::<u64>() + o.forced_failovers,
+    )
+}
+
+/// A named run spec builder used by several figures.
+#[must_use]
+pub fn spec(kind: SystemKind, threads: usize) -> RunSpec {
+    RunSpec::new(kind, threads)
+}
+
+/// Accumulates measured series so benches can print a compact recap.
+#[derive(Debug, Default)]
+pub struct Recap {
+    lines: BTreeMap<String, String>,
+}
+
+impl Recap {
+    /// Creates an empty recap.
+    #[must_use]
+    pub fn new() -> Self {
+        Recap::default()
+    }
+
+    /// Records a named measurement.
+    pub fn note(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.lines.insert(key.to_string(), value.to_string());
+    }
+
+    /// Prints all recorded measurements.
+    pub fn print(&self, title: &str) {
+        println!();
+        println!("-- {title}: recap --");
+        for (k, v) in &self.lines {
+            println!("  {k}: {v}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! PhTM shared state: the two phase counters (paper §5, "PhTM [19]").
+//!
+//! * `stm_count` — software transactions currently executing. Hardware
+//!   transactions read it **transactionally** at begin: if non-zero they
+//!   abort immediately, and if it changes mid-flight the update's plain
+//!   store kills them through coherence (the "nonT conflicts on the
+//!   software-transactions-in-flight counter" of Figure 6).
+//! * `must_count` — software transactions that failed over because of a
+//!   condition the HTM cannot run (overflow, syscall, …). While non-zero,
+//!   *new* transactions also start in software; once it drains, newcomers
+//!   stall until `stm_count` reaches zero and the HTM phase resumes.
+
+use ufotm_machine::Addr;
+
+/// PhTM's two phase counters, each on its own cache line.
+#[derive(Clone, Copy, Debug)]
+pub struct PhtmShared {
+    stm_addr: Addr,
+    must_addr: Addr,
+    /// Software transactions in flight.
+    pub stm_count: u64,
+    /// Of those, the ones that *had* to be in software.
+    pub must_count: u64,
+    /// Times a hardware attempt aborted because the system was in an STM
+    /// phase.
+    pub phase_aborts: u64,
+    /// Cumulative stalls waiting for the STM phase to drain.
+    pub phase_stalls: u64,
+}
+
+impl PhtmShared {
+    /// Creates the counters at `base` (reserve two lines there).
+    #[must_use]
+    pub fn new(base: Addr) -> Self {
+        PhtmShared {
+            stm_addr: base,
+            must_addr: Addr(base.0 + 64),
+            stm_count: 0,
+            must_count: 0,
+            phase_aborts: 0,
+            phase_stalls: 0,
+        }
+    }
+
+    /// Simulated address of `stm_count` (hardware transactions read this
+    /// transactionally).
+    #[must_use]
+    pub fn stm_addr(&self) -> Addr {
+        self.stm_addr
+    }
+
+    /// Simulated address of `must_count`.
+    #[must_use]
+    pub fn must_addr(&self) -> Addr {
+        self.must_addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_live_on_distinct_lines() {
+        let p = PhtmShared::new(Addr(0x2000));
+        assert_ne!(p.stm_addr().line(), p.must_addr().line());
+    }
+}

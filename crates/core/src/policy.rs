@@ -1,0 +1,103 @@
+//! Hybrid contention-management and failover policy knobs (paper §4.4).
+//!
+//! Together with the machine-level knobs
+//! ([`HwCmPolicy`](ufotm_machine::HwCmPolicy),
+//! [`UfoKillPolicy`](ufotm_machine::UfoKillPolicy)), these reproduce every
+//! bar of the paper's Figure 8 sensitivity study.
+
+/// What a hardware transaction does when it takes a UFO fault (i.e. touches
+/// a line held by an in-flight software transaction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum BtmUfoFaultPolicy {
+    /// Abort the hardware transaction and let the abort handler back off
+    /// and retry (the paper's default).
+    #[default]
+    AbortAndRetry,
+    /// Stall inside the transaction until the protection clears (Figure 8,
+    /// third bar: "preventing hardware transactions from aborting unless
+    /// absolutely necessary").
+    Stall,
+}
+
+/// The hybrid's software policy, consumed by the BTM abort handler
+/// (Algorithm 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HybridPolicy {
+    /// UFO-fault handling inside hardware transactions.
+    pub btm_ufo_fault: BtmUfoFaultPolicy,
+    /// Fail over to software after this many consecutive contention-class
+    /// aborts. `None` — the paper's recommendation — never fails over on
+    /// contention ("the STM's overhead will increase the transaction's
+    /// duration, … increasing contention"; such policies are metastable).
+    pub conflict_failover_after: Option<u32>,
+    /// Base of the exponential backoff applied after contention-class
+    /// aborts (doubled per consecutive abort, counted up to
+    /// [`HybridPolicy::backoff_cap_exp`]).
+    pub backoff_base: u64,
+    /// Consecutive-abort count saturates here (the paper counts "up to 7").
+    pub backoff_cap_exp: u32,
+    /// Cycles a [`BtmUfoFaultPolicy::Stall`] retry waits between attempts.
+    pub ufo_stall_backoff: u64,
+}
+
+impl Default for HybridPolicy {
+    fn default() -> Self {
+        HybridPolicy {
+            btm_ufo_fault: BtmUfoFaultPolicy::default(),
+            conflict_failover_after: None,
+            backoff_base: 50,
+            backoff_cap_exp: 7,
+            ufo_stall_backoff: 60,
+        }
+    }
+}
+
+impl HybridPolicy {
+    /// The backoff (in cycles) after the `n`-th consecutive
+    /// contention-class abort.
+    #[must_use]
+    pub fn backoff_for(&self, consecutive_aborts: u32) -> u64 {
+        let exp = consecutive_aborts.min(self.backoff_cap_exp);
+        self.backoff_base << exp
+    }
+
+    /// Figure 8, second bar: fail over to software after `n` conflict
+    /// aborts.
+    #[must_use]
+    pub fn failover_on_nth_conflict(n: u32) -> Self {
+        HybridPolicy { conflict_failover_after: Some(n), ..HybridPolicy::default() }
+    }
+
+    /// Figure 8, third bar: stall (rather than abort) on UFO faults.
+    #[must_use]
+    pub fn stall_on_ufo_fault() -> Self {
+        HybridPolicy { btm_ufo_fault: BtmUfoFaultPolicy::Stall, ..HybridPolicy::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_saturates() {
+        let p = HybridPolicy::default();
+        assert_eq!(p.backoff_for(0), 50);
+        assert_eq!(p.backoff_for(1), 100);
+        assert_eq!(p.backoff_for(7), 50 << 7);
+        assert_eq!(p.backoff_for(20), 50 << 7, "saturates at the cap");
+    }
+
+    #[test]
+    fn presets_set_the_right_knobs() {
+        assert_eq!(
+            HybridPolicy::failover_on_nth_conflict(5).conflict_failover_after,
+            Some(5)
+        );
+        assert_eq!(
+            HybridPolicy::stall_on_ufo_fault().btm_ufo_fault,
+            BtmUfoFaultPolicy::Stall
+        );
+        assert_eq!(HybridPolicy::default().conflict_failover_after, None);
+    }
+}

@@ -1,0 +1,583 @@
+//! The per-thread transaction drivers: retry loops, the BTM abort handler
+//! (paper Algorithm 3), and the hybrid failover machinery.
+
+use ufotm_machine::{AbortInfo, AbortReason, AccessError, Addr};
+use ufotm_sim::Ctx;
+use ufotm_tl2::Tl2Txn;
+use ufotm_ustm::{nont_load, UstmAbort, UstmTxn};
+
+use crate::lockbase::{lock_acquire, lock_release};
+use crate::policy::HybridPolicy;
+use crate::shared::{SystemKind, TmWorld};
+use crate::trace::TraceKind;
+use crate::tx::{Mode, Tx, TxAbort};
+
+/// Records one trace event (free when the journal is disabled).
+fn trace<U: TmWorld>(ctx: &mut Ctx<U>, kind: TraceKind) {
+    let cpu = ctx.cpu();
+    ctx.with(|w| {
+        let t = w.shared.tm();
+        if t.trace.is_recording() {
+            let cycle = w.machine.now(cpu);
+            w.shared.tm().trace.record(cycle, cpu, kind);
+        }
+    });
+}
+
+/// How a hardware attempt failed.
+enum HwFail {
+    /// The BTM transaction aborted with this reason.
+    Abort(AbortInfo),
+    /// The microbenchmark hook forced a failover.
+    Forced,
+    /// The body executed `retry`; honour it in software.
+    RetryRequested,
+    /// PhTM only: the system is in an STM phase.
+    PhaseBusy,
+}
+
+/// The per-thread TM runtime: owns the software transaction handles and
+/// drives attempts according to the selected [`SystemKind`] and
+/// [`HybridPolicy`].
+pub struct TmThread {
+    cpu: usize,
+    kind: SystemKind,
+    policy: HybridPolicy,
+    ustm: UstmTxn,
+    tl2: Tl2Txn,
+    alloc_budget: u32,
+    consecutive: u32,
+}
+
+impl TmThread {
+    /// Creates a runtime for `kind` on `cpu` with the default policy.
+    #[must_use]
+    pub fn new(kind: SystemKind, cpu: usize) -> Self {
+        TmThread::with_policy(kind, cpu, HybridPolicy::default())
+    }
+
+    /// Creates a runtime with an explicit hybrid policy (Figure 8 knobs).
+    #[must_use]
+    pub fn with_policy(kind: SystemKind, cpu: usize, policy: HybridPolicy) -> Self {
+        TmThread {
+            cpu,
+            kind,
+            policy,
+            ustm: UstmTxn::new(cpu),
+            tl2: Tl2Txn::new(cpu),
+            alloc_budget: 1, // first allocation refills the pool
+            consecutive: 0,
+        }
+    }
+
+    /// The system this runtime drives.
+    #[must_use]
+    pub fn kind(&self) -> SystemKind {
+        self.kind
+    }
+
+    /// Thread-start setup: arms UFO fault delivery for strongly-atomic
+    /// systems (their threads must fault on protected lines outside their
+    /// own transactions — that is what protects software transactions from
+    /// both plain code and hardware transactions).
+    pub fn install<U: TmWorld>(&self, ctx: &mut Ctx<U>) {
+        ctx.set_ufo_enabled(self.kind.strong_atomicity());
+    }
+
+    /// Runs `body` as one transaction to commit, retrying and failing over
+    /// per the system's policy, and returns the body's result.
+    ///
+    /// The body receives a fresh [`Tx`] per attempt and must propagate
+    /// `Err` from every fallible `Tx` operation.
+    pub fn transaction<U: TmWorld, R>(
+        &mut self,
+        ctx: &mut Ctx<U>,
+        mut body: impl FnMut(&mut Tx<'_>, &mut Ctx<U>) -> Result<R, TxAbort>,
+    ) -> R {
+        self.consecutive = 0;
+        match self.kind {
+            SystemKind::Sequential => self.plain_path(ctx, &mut body, false),
+            SystemKind::GlobalLock => self.plain_path(ctx, &mut body, true),
+            SystemKind::UstmWeak | SystemKind::UstmStrong => self.ustm_path(ctx, &mut body),
+            SystemKind::Tl2 => self.tl2_path(ctx, &mut body),
+            SystemKind::UnboundedHtm => self.unbounded_path(ctx, &mut body),
+            SystemKind::UfoHybrid => self.ufo_hybrid_path(ctx, &mut body),
+            SystemKind::HyTm => self.hytm_path(ctx, &mut body),
+            SystemKind::PhTm => self.phtm_path(ctx, &mut body),
+        }
+    }
+
+    // --- baselines -------------------------------------------------------
+
+    fn plain_path<U: TmWorld, R>(
+        &mut self,
+        ctx: &mut Ctx<U>,
+        body: &mut impl FnMut(&mut Tx<'_>, &mut Ctx<U>) -> Result<R, TxAbort>,
+        locked: bool,
+    ) -> R {
+        if locked {
+            lock_acquire(ctx, 80);
+        }
+        let mut tx = Tx::new(self.cpu, Mode::Plain, self.policy, &mut self.alloc_budget);
+        let r = body(&mut tx, ctx);
+        let bk = tx.into_bookkeeping();
+        let r = r.unwrap_or_else(|e| panic!("plain-mode body cannot abort, got {e}"));
+        apply_frees(ctx, &bk.frees);
+        ctx.with(|w| w.shared.tm().stats.lock_commits += 1);
+        trace(ctx, TraceKind::PlainCommit);
+        bk.run_deferred();
+        if locked {
+            lock_release(ctx);
+        }
+        r
+    }
+
+    fn ustm_path<U: TmWorld, R>(
+        &mut self,
+        ctx: &mut Ctx<U>,
+        body: &mut impl FnMut(&mut Tx<'_>, &mut Ctx<U>) -> Result<R, TxAbort>,
+    ) -> R {
+        loop {
+            trace(ctx, TraceKind::SwBegin);
+            self.ustm.begin(ctx);
+            let mut tx = Tx::new(
+                self.cpu,
+                Mode::Ustm(&mut self.ustm),
+                self.policy,
+                &mut self.alloc_budget,
+            );
+            let out = body(&mut tx, ctx);
+            let bk = tx.into_bookkeeping();
+            match out {
+                Ok(r) => match self.ustm.commit(ctx) {
+                    Ok(()) => {
+                        apply_frees(ctx, &bk.frees);
+                        ctx.with(|w| w.shared.tm().stats.sw_commits += 1);
+                        trace(ctx, TraceKind::SwCommit);
+                        bk.run_deferred();
+                        return r;
+                    }
+                    Err(UstmAbort::Killed { .. }) => {
+                        undo_allocs(ctx, &bk.allocs);
+                        trace(ctx, TraceKind::SwAbort);
+                        self.ustm.wait_for_killer(ctx);
+                    }
+                    Err(other) => unreachable!("commit produced {other:?}"),
+                },
+                Err(TxAbort::Stm(UstmAbort::Killed { .. })) => {
+                    undo_allocs(ctx, &bk.allocs);
+                    trace(ctx, TraceKind::SwAbort);
+                    self.ustm.wait_for_killer(ctx);
+                }
+                Err(TxAbort::Stm(UstmAbort::RetryWoken | UstmAbort::Explicit)) => {
+                    undo_allocs(ctx, &bk.allocs);
+                    trace(ctx, TraceKind::SwAbort);
+                }
+                Err(other) => unreachable!("USTM body produced {other}"),
+            }
+        }
+    }
+
+    fn tl2_path<U: TmWorld, R>(
+        &mut self,
+        ctx: &mut Ctx<U>,
+        body: &mut impl FnMut(&mut Tx<'_>, &mut Ctx<U>) -> Result<R, TxAbort>,
+    ) -> R {
+        loop {
+            trace(ctx, TraceKind::SwBegin);
+            self.tl2.begin(ctx);
+            let mut tx = Tx::new(
+                self.cpu,
+                Mode::Tl2(&mut self.tl2),
+                self.policy,
+                &mut self.alloc_budget,
+            );
+            let out = body(&mut tx, ctx);
+            let bk = tx.into_bookkeeping();
+            match out {
+                Ok(r) => {
+                    if self.tl2.commit(ctx).is_ok() {
+                        apply_frees(ctx, &bk.frees);
+                        ctx.with(|w| w.shared.tm().stats.sw_commits += 1);
+                        trace(ctx, TraceKind::SwCommit);
+                        bk.run_deferred();
+                        return r;
+                    }
+                    undo_allocs(ctx, &bk.allocs);
+                    trace(ctx, TraceKind::SwAbort);
+                }
+                Err(TxAbort::Tl2(_)) | Err(TxAbort::RetryRequested) => {
+                    if self.tl2.is_active() {
+                        self.tl2.drop_attempt(ctx);
+                    }
+                    undo_allocs(ctx, &bk.allocs);
+                }
+                Err(other) => unreachable!("TL2 body produced {other}"),
+            }
+            self.consecutive += 1;
+            let backoff = self.policy.backoff_for(self.consecutive);
+            ctx.stall(backoff).expect("TL2 backoff");
+        }
+    }
+
+    // --- hardware attempt ------------------------------------------------
+
+    /// One hardware attempt: begin, (PhTM phase check), body, commit.
+    fn hw_attempt<U: TmWorld, R>(
+        &mut self,
+        ctx: &mut Ctx<U>,
+        body: &mut impl FnMut(&mut Tx<'_>, &mut Ctx<U>) -> Result<R, TxAbort>,
+        hytm: bool,
+        phtm_check: bool,
+    ) -> Result<R, HwFail> {
+        if let Err(AccessError::TxnAbort(i)) = ctx.btm_begin() {
+            return Err(HwFail::Abort(i));
+        }
+        trace(ctx, TraceKind::HwBegin);
+        if phtm_check {
+            // Transactionally subscribe to the STM-phase counter: if it is
+            // non-zero now (or changes mid-flight), this transaction dies.
+            let cpu = self.cpu;
+            loop {
+                let r = ctx.with(|w| {
+                    let a = w.shared.tm().phtm.stm_addr();
+                    w.machine.load(cpu, a).map(|_| w.shared.tm().phtm.stm_count)
+                });
+                match r {
+                    Ok(0) => break,
+                    Ok(_) => {
+                        ctx.btm_abort_with(AbortInfo::new(AbortReason::Explicit));
+                        ctx.with(|w| w.shared.tm().phtm.phase_aborts += 1);
+                        return Err(HwFail::PhaseBusy);
+                    }
+                    Err(AccessError::Nacked) => {}
+                    Err(AccessError::TxnAbort(i)) => return Err(HwFail::Abort(i)),
+                    Err(e) => panic!("phase check: {e}"),
+                }
+            }
+        }
+        let mut tx = Tx::new(self.cpu, Mode::Hw { hytm }, self.policy, &mut self.alloc_budget);
+        let out = body(&mut tx, ctx);
+        let bk = tx.into_bookkeeping();
+        match out {
+            Ok(r) => match ctx.btm_end() {
+                Ok(()) => {
+                    apply_frees(ctx, &bk.frees);
+                    wake_sleepers(ctx, &bk.wakes);
+                    ctx.with(|w| w.shared.tm().stats.hw_commits += 1);
+                    trace(ctx, TraceKind::HwCommit);
+                    bk.run_deferred();
+                    Ok(r)
+                }
+                Err(AccessError::TxnAbort(i)) => {
+                    undo_allocs(ctx, &bk.allocs);
+                    trace(ctx, TraceKind::HwAbort(i.reason));
+                    Err(HwFail::Abort(i))
+                }
+                Err(e) => panic!("btm_end: {e}"),
+            },
+            Err(e) => {
+                undo_allocs(ctx, &bk.allocs);
+                match e {
+                    TxAbort::Hw(i) => {
+                        trace(ctx, TraceKind::HwAbort(i.reason));
+                        Err(HwFail::Abort(i))
+                    }
+                    TxAbort::Forced => Err(HwFail::Forced),
+                    TxAbort::RetryRequested => Err(HwFail::RetryRequested),
+                    TxAbort::Stm(_) | TxAbort::Tl2(_) => {
+                        unreachable!("software abort in a hardware attempt")
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exponential backoff after a contention-class abort (Algorithm 3's
+    /// counted backoff).
+    fn backoff<U: TmWorld>(&mut self, ctx: &mut Ctx<U>) {
+        self.consecutive += 1;
+        ctx.with(|w| w.shared.tm().stats.hw_retries += 1);
+        let cycles = self.policy.backoff_for(self.consecutive);
+        ctx.stall(cycles).expect("backoff stall");
+    }
+
+    /// Software fix-up for a page-fault abort: touch the page
+    /// non-transactionally (strong-atomicity-aware), then retry in hardware
+    /// (Algorithm 3).
+    fn resolve_page_fault<U: TmWorld>(&mut self, ctx: &mut Ctx<U>, addr: Option<Addr>) {
+        if let Some(a) = addr {
+            let _ = nont_load(ctx, a);
+        }
+        ctx.with(|w| w.shared.tm().stats.hw_retries += 1);
+    }
+
+    // --- the paper's hybrid ---------------------------------------------
+
+    /// The UFO hybrid (paper §4.3): try BTM, classify aborts per
+    /// Algorithm 3, fail over to the strongly-atomic USTM when hardware
+    /// cannot help.
+    fn ufo_hybrid_path<U: TmWorld, R>(
+        &mut self,
+        ctx: &mut Ctx<U>,
+        body: &mut impl FnMut(&mut Tx<'_>, &mut Ctx<U>) -> Result<R, TxAbort>,
+    ) -> R {
+        loop {
+            match self.hw_attempt(ctx, body, false, false) {
+                Ok(r) => return r,
+                Err(HwFail::Forced) => {
+                    ctx.with(|w| w.shared.tm().stats.forced_failovers += 1);
+                    return self.ustm_path(ctx, body);
+                }
+                Err(HwFail::RetryRequested) => {
+                    return self.ustm_path(ctx, body);
+                }
+                Err(HwFail::PhaseBusy) => unreachable!("no phase check in UFO hybrid"),
+                Err(HwFail::Abort(info)) => {
+                    if info.reason.is_failover() {
+                        ctx.with(|w| w.shared.tm().stats.record_failover(info.reason));
+                        trace(ctx, TraceKind::Failover(info.reason));
+                        return self.ustm_path(ctx, body);
+                    }
+                    match info.reason {
+                        AbortReason::PageFault => self.resolve_page_fault(ctx, info.addr),
+                        AbortReason::Conflict
+                        | AbortReason::NonTConflict
+                        | AbortReason::UfoSet
+                        | AbortReason::UfoFault => {
+                            if let Some(n) = self.policy.conflict_failover_after {
+                                if self.consecutive + 1 >= n {
+                                    ctx.with(|w| {
+                                        w.shared.tm().stats.record_failover(info.reason)
+                                    });
+                                    return self.ustm_path(ctx, body);
+                                }
+                            }
+                            self.backoff(ctx);
+                        }
+                        _ => self.backoff(ctx),
+                    }
+                }
+            }
+        }
+    }
+
+    // --- prior hybrids ----------------------------------------------------
+
+    /// The idealized unbounded HTM: everything retries in hardware; page
+    /// faults and allocator syscalls get software fix-ups (the "simplified
+    /// abort handler" of §5's footnote).
+    fn unbounded_path<U: TmWorld, R>(
+        &mut self,
+        ctx: &mut Ctx<U>,
+        body: &mut impl FnMut(&mut Tx<'_>, &mut Ctx<U>) -> Result<R, TxAbort>,
+    ) -> R {
+        loop {
+            match self.hw_attempt(ctx, body, false, false) {
+                Ok(r) => return r,
+                Err(HwFail::Abort(info)) => match info.reason {
+                    AbortReason::PageFault => self.resolve_page_fault(ctx, info.addr),
+                    AbortReason::Syscall => {
+                        // The pool refill already happened; pay its cost
+                        // outside the transaction and retry.
+                        let cost = ctx.with(|w| w.shared.tm().alloc_model.syscall_cost);
+                        ctx.work(cost).expect("refill outside txn");
+                        ctx.with(|w| w.shared.tm().stats.hw_retries += 1);
+                    }
+                    _ => self.backoff(ctx),
+                },
+                // No software to fail over to: spin and retry.
+                Err(HwFail::Forced) | Err(HwFail::RetryRequested) => self.backoff(ctx),
+                Err(HwFail::PhaseBusy) => unreachable!(),
+            }
+        }
+    }
+
+    /// HyTM: hardware transactions carry otable-check barriers; anything
+    /// the hardware cannot run fails over to the (weakly-atomic) USTM.
+    fn hytm_path<U: TmWorld, R>(
+        &mut self,
+        ctx: &mut Ctx<U>,
+        body: &mut impl FnMut(&mut Tx<'_>, &mut Ctx<U>) -> Result<R, TxAbort>,
+    ) -> R {
+        loop {
+            match self.hw_attempt(ctx, body, true, false) {
+                Ok(r) => return r,
+                Err(HwFail::Forced) => {
+                    ctx.with(|w| w.shared.tm().stats.forced_failovers += 1);
+                    return self.ustm_path(ctx, body);
+                }
+                Err(HwFail::RetryRequested) => return self.ustm_path(ctx, body),
+                Err(HwFail::PhaseBusy) => unreachable!("no phase check in HyTM"),
+                Err(HwFail::Abort(info)) => {
+                    if info.reason.is_failover() {
+                        ctx.with(|w| w.shared.tm().stats.record_failover(info.reason));
+                        return self.ustm_path(ctx, body);
+                    }
+                    match info.reason {
+                        AbortReason::PageFault => self.resolve_page_fault(ctx, info.addr),
+                        // Explicit = otable conflict with an STM txn:
+                        // retry in hardware after backoff (paper §5).
+                        _ => self.backoff(ctx),
+                    }
+                }
+            }
+        }
+    }
+
+    /// PhTM: hardware and software phases exclude each other via the two
+    /// global counters.
+    fn phtm_path<U: TmWorld, R>(
+        &mut self,
+        ctx: &mut Ctx<U>,
+        body: &mut impl FnMut(&mut Tx<'_>, &mut Ctx<U>) -> Result<R, TxAbort>,
+    ) -> R {
+        let cpu = self.cpu;
+        loop {
+            // Phase check (plain reads of both counters).
+            let (must, stm) = ctx.with(|w| {
+                let (ma, sa) = {
+                    let p = &w.shared.tm().phtm;
+                    (p.must_addr(), p.stm_addr())
+                };
+                w.machine.load(cpu, ma).expect("must read");
+                w.machine.load(cpu, sa).expect("stm read");
+                let p = &w.shared.tm().phtm;
+                (p.must_count, p.stm_count)
+            });
+            if must != 0 {
+                // Mandatory STM phase: new transactions start in software.
+                return self.phtm_sw(ctx, body, false);
+            }
+            if stm != 0 {
+                // Draining back toward a hardware phase: stall, don't start.
+                ctx.with(|w| w.shared.tm().phtm.phase_stalls += 1);
+                ctx.stall(self.policy.backoff_base * 4).expect("phase stall");
+                continue;
+            }
+            match self.hw_attempt(ctx, body, false, true) {
+                Ok(r) => return r,
+                Err(HwFail::Forced) => {
+                    ctx.with(|w| w.shared.tm().stats.forced_failovers += 1);
+                    return self.phtm_sw(ctx, body, true);
+                }
+                Err(HwFail::RetryRequested) => return self.phtm_sw(ctx, body, true),
+                Err(HwFail::PhaseBusy) => { /* loop back to the phase check */ }
+                Err(HwFail::Abort(info)) => {
+                    if info.reason.is_failover() {
+                        ctx.with(|w| w.shared.tm().stats.record_failover(info.reason));
+                        return self.phtm_sw(ctx, body, true);
+                    }
+                    match info.reason {
+                        AbortReason::PageFault => self.resolve_page_fault(ctx, info.addr),
+                        _ => self.backoff(ctx),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the transaction in PhTM's software mode, bumping the phase
+    /// counters around it. The counter stores are plain — they kill any
+    /// hardware transaction subscribed to the counter line, exactly the
+    /// paper's "nonT conflicts on the software-transactions-in-flight
+    /// counter".
+    fn phtm_sw<U: TmWorld, R>(
+        &mut self,
+        ctx: &mut Ctx<U>,
+        body: &mut impl FnMut(&mut Tx<'_>, &mut Ctx<U>) -> Result<R, TxAbort>,
+        mandatory: bool,
+    ) -> R {
+        let cpu = self.cpu;
+        ctx.with(|w| {
+            let (sa, ma) = {
+                let p = &w.shared.tm().phtm;
+                (p.stm_addr(), p.must_addr())
+            };
+            {
+                let p = &mut w.shared.tm().phtm;
+                p.stm_count += 1;
+            }
+            let sv = w.shared.tm().phtm.stm_count;
+            w.machine.store(cpu, sa, sv).expect("stm count store");
+            if mandatory {
+                {
+                    let p = &mut w.shared.tm().phtm;
+                    p.must_count += 1;
+                }
+                let mv = w.shared.tm().phtm.must_count;
+                w.machine.store(cpu, ma, mv).expect("must count store");
+            }
+        });
+        let r = self.ustm_path(ctx, body);
+        ctx.with(|w| {
+            let (sa, ma) = {
+                let p = &w.shared.tm().phtm;
+                (p.stm_addr(), p.must_addr())
+            };
+            {
+                let p = &mut w.shared.tm().phtm;
+                p.stm_count -= 1;
+            }
+            let sv = w.shared.tm().phtm.stm_count;
+            w.machine.store(cpu, sa, sv).expect("stm count store");
+            if mandatory {
+                {
+                    let p = &mut w.shared.tm().phtm;
+                    p.must_count -= 1;
+                }
+                let mv = w.shared.tm().phtm.must_count;
+                w.machine.store(cpu, ma, mv).expect("must count store");
+            }
+        });
+        r
+    }
+}
+
+/// Frees deferred by a committed transaction.
+fn apply_frees<U: TmWorld>(ctx: &mut Ctx<U>, frees: &[Addr]) {
+    if frees.is_empty() {
+        return;
+    }
+    let frees = frees.to_vec();
+    ctx.with(|w| {
+        let heap = &mut w.shared.tm().heap;
+        for a in frees {
+            heap.free(a).expect("double free of heap allocation");
+        }
+    });
+}
+
+/// Wakes `retry`-parked STM sleepers after a hardware commit (paper §6:
+/// the wake is deferred so an aborted transaction never wakes anyone).
+fn wake_sleepers<U: TmWorld>(ctx: &mut Ctx<U>, wakes: &[usize]) {
+    if wakes.is_empty() {
+        return;
+    }
+    let cpu = ctx.cpu();
+    let wakes = wakes.to_vec();
+    ctx.with(|w| {
+        for s in wakes {
+            let slot_addr = {
+                let u = w.shared.ustm();
+                u.slots[s].woken = true;
+                u.slot_addr(s)
+            };
+            w.machine.store(cpu, slot_addr, 4).expect("wake store");
+        }
+    });
+}
+
+/// Allocations rolled back by an aborted attempt.
+fn undo_allocs<U: TmWorld>(ctx: &mut Ctx<U>, allocs: &[Addr]) {
+    if allocs.is_empty() {
+        return;
+    }
+    let allocs = allocs.to_vec();
+    ctx.with(|w| {
+        let heap = &mut w.shared.tm().heap;
+        for a in allocs {
+            heap.free(a).expect("aborted allocation already freed");
+        }
+    });
+}

@@ -1,0 +1,244 @@
+//! Machine configuration: geometry, latencies, and hardware policy knobs.
+//!
+//! The defaults approximate the paper's Table 4 (a 1 GHz out-of-order x86
+//! with a 32 KiB 4-way L1, a 1 MiB 8-way unified L2, 64-byte lines, and a
+//! directory protocol). Pipeline effects are folded into fixed per-operation
+//! costs; the relative magnitudes (hit ≪ L2 ≪ memory, 20-cycle nack retry)
+//! are what the paper's results depend on.
+
+use crate::cache::CacheGeometry;
+
+/// Latencies (in cycles) charged to a CPU's local clock by each operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// A load or store that hits in the L1.
+    pub l1_hit: u64,
+    /// Additional cost of filling from the shared L2.
+    pub l2_hit: u64,
+    /// Additional cost of filling from memory.
+    pub mem: u64,
+    /// Cost of a cache-to-cache transfer (remote L1 owns the line dirty).
+    pub cache_to_cache: u64,
+    /// Cost of writing back a dirty victim.
+    pub writeback: u64,
+    /// Delay before a nacked transactional request retries (paper: 20).
+    pub nack_retry: u64,
+    /// Executing `btm_begin` (register checkpoint).
+    pub btm_begin: u64,
+    /// Executing `btm_end` on a successful commit (flash-clear of SR/SW).
+    pub btm_commit: u64,
+    /// Hardware abort handling (flash invalidate + checkpoint restore).
+    pub btm_abort: u64,
+    /// A `set/add/read_ufo_bits` instruction, beyond its coherence traffic.
+    pub ufo_op: u64,
+    /// Delivering a fault (UFO fault or exception) to a software handler.
+    pub fault_dispatch: u64,
+    /// Servicing a timer interrupt (context switch in and out).
+    pub interrupt_service: u64,
+    /// Servicing a page-in from the swap device.
+    pub page_in: u64,
+    /// Servicing a page-out to the swap device.
+    pub page_out: u64,
+}
+
+impl CostModel {
+    /// The default cost model used for all headline experiments.
+    #[must_use]
+    pub fn table4() -> Self {
+        CostModel {
+            l1_hit: 2,
+            l2_hit: 18,
+            mem: 200,
+            cache_to_cache: 30,
+            writeback: 10,
+            nack_retry: 20,
+            btm_begin: 4,
+            btm_commit: 4,
+            btm_abort: 20,
+            ufo_op: 4,
+            fault_dispatch: 100,
+            interrupt_service: 2_000,
+            page_in: 100_000,
+            page_out: 100_000,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::table4()
+    }
+}
+
+/// Which BTM transactions a `set_ufo_bits` coherence invalidation kills.
+///
+/// Reproduces the Figure 8 limit study: because USTM read barriers set
+/// fault-on-write with exclusive coherence permission, they kill BTM
+/// transactions that merely *read* the same line — a false conflict. The
+/// `TrueConflictsOnly` policy models idealized hardware that spares those
+/// readers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum UfoKillPolicy {
+    /// Faithful hardware: acquiring exclusive permission to set the bits
+    /// invalidates every cached copy, killing any speculative holder.
+    #[default]
+    AllSpeculativeHolders,
+    /// Limit study: only kill holders for which the protection actually
+    /// signals a conflict (the set includes fault-on-read — i.e. the software
+    /// transaction will write — or the hardware transaction has
+    /// speculatively written the line).
+    TrueConflictsOnly,
+}
+
+/// The hardware contention-management policy for HTM/HTM conflicts.
+///
+/// The paper finds that "there appears to be no substitute for having a good
+/// contention management policy in hardware" (§4.4) and demonstrates it with
+/// the requester-wins straw man in Figure 8.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum HwCmPolicy {
+    /// Age-ordered arbitration: an older requester aborts the current
+    /// holder; a younger requester is nacked and retries after 20 cycles.
+    #[default]
+    AgeOrdered,
+    /// Naïve policy: the requester always wins and the holder is aborted.
+    /// Guarantees progress only via software failover; performs poorly under
+    /// contention (Figure 8, first bar).
+    RequesterWins,
+}
+
+/// Full configuration of a simulated [`Machine`](crate::Machine).
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of CPUs (1–64).
+    pub cpus: usize,
+    /// Size of simulated memory in 8-byte words.
+    pub memory_words: u64,
+    /// Per-CPU L1 data cache geometry (speculative lines must fit here).
+    pub l1: CacheGeometry,
+    /// Shared L2 geometry (timing only).
+    pub l2: CacheGeometry,
+    /// Latency model.
+    pub costs: CostModel,
+    /// Timer interrupt quantum in cycles; `None` disables timer interrupts.
+    /// A BTM transaction spanning a quantum boundary is aborted with
+    /// [`AbortReason::Interrupt`](crate::AbortReason::Interrupt).
+    pub timer_quantum: Option<u64>,
+    /// Maximum hardware (flattened) nesting depth before
+    /// [`AbortReason::DepthOverflow`](crate::AbortReason::DepthOverflow).
+    pub btm_max_depth: u32,
+    /// If `true`, the BTM never aborts for capacity: evicted speculative
+    /// lines stay tracked in an idealized overflow structure. Used to model
+    /// the paper's *unbounded HTM* baseline.
+    pub btm_unbounded: bool,
+    /// Which speculative holders a `set_ufo_bits` kills (Figure 8 knob).
+    pub ufo_kill_policy: UfoKillPolicy,
+    /// Hardware contention management for HTM/HTM conflicts (Figure 8 knob).
+    pub hw_cm: HwCmPolicy,
+    /// §4.3's proposed coherence change: permit setting UFO bits "in the
+    /// owner state". When enabled, a set that adds no fault-on-read bit (a
+    /// USTM *read barrier*, or a clear) publishes the bits without acquiring
+    /// exclusive permission — remote cached copies survive, so speculative
+    /// *readers* of the line are no longer killed by false conflicts.
+    pub ufo_owner_state_sets: bool,
+}
+
+impl MachineConfig {
+    /// The paper's Table 4 configuration with the given CPU count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is 0 or greater than 64.
+    #[must_use]
+    pub fn table4(cpus: usize) -> Self {
+        assert!((1..=64).contains(&cpus), "cpus must be in 1..=64");
+        MachineConfig {
+            cpus,
+            memory_words: 1 << 22, // 32 MiB of simulated data
+            l1: CacheGeometry::new(128, 4), // 32 KiB, 4-way, 64 B lines
+            l2: CacheGeometry::new(2048, 8), // 1 MiB, 8-way
+            costs: CostModel::table4(),
+            timer_quantum: Some(200_000),
+            btm_max_depth: 8,
+            btm_unbounded: false,
+            ufo_kill_policy: UfoKillPolicy::AllSpeculativeHolders,
+            hw_cm: HwCmPolicy::AgeOrdered,
+            ufo_owner_state_sets: false,
+        }
+    }
+
+    /// A tiny machine for unit tests and doctests: a 4-set, 2-way L1 so
+    /// capacity effects are easy to trigger, and no timer interrupts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is 0 or greater than 64.
+    #[must_use]
+    pub fn small(cpus: usize) -> Self {
+        assert!((1..=64).contains(&cpus), "cpus must be in 1..=64");
+        MachineConfig {
+            cpus,
+            memory_words: 1 << 16,
+            l1: CacheGeometry::new(4, 2),
+            l2: CacheGeometry::new(64, 4),
+            costs: CostModel::table4(),
+            timer_quantum: None,
+            btm_max_depth: 8,
+            btm_unbounded: false,
+            ufo_kill_policy: UfoKillPolicy::AllSpeculativeHolders,
+            hw_cm: HwCmPolicy::AgeOrdered,
+            ufo_owner_state_sets: false,
+        }
+    }
+
+    /// Returns this configuration with the BTM made unbounded (the paper's
+    /// idealized unbounded-HTM baseline).
+    #[must_use]
+    pub fn unbounded(mut self) -> Self {
+        self.btm_unbounded = true;
+        self
+    }
+
+    /// Number of cache lines covered by the memory image.
+    #[must_use]
+    pub fn memory_lines(&self) -> u64 {
+        (self.memory_words * crate::WORD_BYTES).div_ceil(crate::LINE_BYTES)
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::table4(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_geometry_matches_paper() {
+        let c = MachineConfig::table4(16);
+        assert_eq!(c.l1.capacity_bytes(), 32 * 1024);
+        assert_eq!(c.l2.capacity_bytes(), 1024 * 1024);
+        assert_eq!(c.costs.nack_retry, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "cpus")]
+    fn zero_cpus_rejected() {
+        let _ = MachineConfig::table4(0);
+    }
+
+    #[test]
+    fn unbounded_builder_sets_flag() {
+        assert!(MachineConfig::small(1).unbounded().btm_unbounded);
+    }
+
+    #[test]
+    fn memory_lines_rounds_up() {
+        let mut c = MachineConfig::small(1);
+        c.memory_words = 9; // 72 bytes -> 2 lines
+        assert_eq!(c.memory_lines(), 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Event counters gathered by the machine, used by the benchmark harness to
+//! regenerate the paper's Figure 6 (abort-reason breakdown) and to report
+//! cache/coherence behaviour.
+
+use std::collections::BTreeMap;
+
+use crate::btm::AbortReason;
+
+/// Per-CPU counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CpuStats {
+    /// Committed BTM transactions (outermost commits only).
+    pub btm_commits: u64,
+    /// BTM aborts by reason.
+    pub btm_aborts: BTreeMap<AbortReason, u64>,
+    /// Loads + stores issued.
+    pub accesses: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 misses (of the L1 misses).
+    pub l2_misses: u64,
+    /// Nacked transactional requests (each charged the 20-cycle retry).
+    pub nacks: u64,
+    /// UFO faults delivered to software (non-transactional accesses).
+    pub ufo_faults: u64,
+    /// Timer interrupts serviced.
+    pub interrupts: u64,
+    /// Cycles spent in explicit stalls (`stall`).
+    pub stall_cycles: u64,
+}
+
+impl CpuStats {
+    /// Total BTM aborts across all reasons.
+    #[must_use]
+    pub fn total_aborts(&self) -> u64 {
+        self.btm_aborts.values().sum()
+    }
+
+    /// Aborts for one reason.
+    #[must_use]
+    pub fn aborts(&self, reason: AbortReason) -> u64 {
+        self.btm_aborts.get(&reason).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn record_abort(&mut self, reason: AbortReason) {
+        *self.btm_aborts.entry(reason).or_insert(0) += 1;
+    }
+
+    /// Adds another CPU's counters into this one.
+    pub fn merge(&mut self, other: &CpuStats) {
+        self.btm_commits += other.btm_commits;
+        for (&r, &n) in &other.btm_aborts {
+            *self.btm_aborts.entry(r).or_insert(0) += n;
+        }
+        self.accesses += other.accesses;
+        self.l1_misses += other.l1_misses;
+        self.l2_misses += other.l2_misses;
+        self.nacks += other.nacks;
+        self.ufo_faults += other.ufo_faults;
+        self.interrupts += other.interrupts;
+        self.stall_cycles += other.stall_cycles;
+    }
+}
+
+/// All counters for a machine: one [`CpuStats`] per CPU.
+#[derive(Clone, Debug, Default)]
+pub struct MachineStats {
+    /// Per-CPU counters, indexed by CPU id.
+    pub cpus: Vec<CpuStats>,
+}
+
+impl MachineStats {
+    pub(crate) fn new(cpus: usize) -> Self {
+        MachineStats {
+            cpus: vec![CpuStats::default(); cpus],
+        }
+    }
+
+    /// Sums the per-CPU counters.
+    #[must_use]
+    pub fn aggregate(&self) -> CpuStats {
+        let mut total = CpuStats::default();
+        for c in &self.cpus {
+            total.merge(c);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_aggregate() {
+        let mut s = MachineStats::new(2);
+        s.cpus[0].btm_commits = 3;
+        s.cpus[0].record_abort(AbortReason::Conflict);
+        s.cpus[1].btm_commits = 4;
+        s.cpus[1].record_abort(AbortReason::Conflict);
+        s.cpus[1].record_abort(AbortReason::Overflow);
+        let agg = s.aggregate();
+        assert_eq!(agg.btm_commits, 7);
+        assert_eq!(agg.aborts(AbortReason::Conflict), 2);
+        assert_eq!(agg.aborts(AbortReason::Overflow), 1);
+        assert_eq!(agg.total_aborts(), 3);
+        assert_eq!(agg.aborts(AbortReason::Io), 0);
+    }
+}

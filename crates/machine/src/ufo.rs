@@ -1,0 +1,156 @@
+//! UFO: user-mode fine-grained memory protection bits.
+//!
+//! Each 64-byte line carries two *user fault-on* bits — fault-on-read and
+//! fault-on-write — that travel with the data through the whole hierarchy
+//! (paper §3.2 and Appendix A). The bits themselves are stored in the
+//! coherence directory in this model; this module defines their
+//! representation and fault classification.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// The two per-line user fault-on bits.
+///
+/// `UfoBits` is a tiny flag set: combine with `|`, test with
+/// [`UfoBits::contains`].
+///
+/// ```
+/// use ufotm_machine::UfoBits;
+/// let bits = UfoBits::FAULT_ON_READ | UfoBits::FAULT_ON_WRITE;
+/// assert!(bits.contains(UfoBits::FAULT_ON_WRITE));
+/// assert!(!UfoBits::NONE.faults_on(false));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct UfoBits(u8);
+
+impl UfoBits {
+    /// No protection.
+    pub const NONE: UfoBits = UfoBits(0);
+    /// Raise a fault when the line is read (by a UFO-enabled thread).
+    pub const FAULT_ON_READ: UfoBits = UfoBits(0b01);
+    /// Raise a fault when the line is written (by a UFO-enabled thread).
+    pub const FAULT_ON_WRITE: UfoBits = UfoBits(0b10);
+    /// Both bits set — how a USTM write barrier protects a line.
+    pub const FAULT_ON_BOTH: UfoBits = UfoBits(0b11);
+
+    /// Whether every bit in `other` is also set in `self`.
+    #[must_use]
+    pub const fn contains(self, other: UfoBits) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether no bits are set.
+    #[must_use]
+    pub const fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether an access of the given kind faults under this protection.
+    #[must_use]
+    pub const fn faults_on(self, is_write: bool) -> bool {
+        if is_write {
+            self.0 & Self::FAULT_ON_WRITE.0 != 0
+        } else {
+            self.0 & Self::FAULT_ON_READ.0 != 0
+        }
+    }
+
+    /// The raw two-bit encoding (bit 0 = fault-on-read, bit 1 =
+    /// fault-on-write), as a `read_ufo_bits` instruction would return it.
+    #[must_use]
+    pub const fn to_raw(self) -> u8 {
+        self.0
+    }
+
+    /// Decodes a raw two-bit encoding; higher bits are ignored.
+    #[must_use]
+    pub const fn from_raw(raw: u8) -> Self {
+        UfoBits(raw & 0b11)
+    }
+}
+
+impl BitOr for UfoBits {
+    type Output = UfoBits;
+    fn bitor(self, rhs: UfoBits) -> UfoBits {
+        UfoBits(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for UfoBits {
+    fn bitor_assign(&mut self, rhs: UfoBits) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Debug for UfoBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.contains(Self::FAULT_ON_READ), self.contains(Self::FAULT_ON_WRITE)) {
+            (false, false) => write!(f, "UfoBits(none)"),
+            (true, false) => write!(f, "UfoBits(for)"),
+            (false, true) => write!(f, "UfoBits(fow)"),
+            (true, true) => write!(f, "UfoBits(for|fow)"),
+        }
+    }
+}
+
+/// What kind of access raised a UFO fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UfoFaultKind {
+    /// A load hit a line with fault-on-read set.
+    Read,
+    /// A store hit a line with fault-on-write set.
+    Write,
+}
+
+impl UfoFaultKind {
+    /// `true` for [`UfoFaultKind::Write`].
+    #[must_use]
+    pub const fn is_write(self) -> bool {
+        matches!(self, UfoFaultKind::Write)
+    }
+}
+
+impl fmt::Display for UfoFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UfoFaultKind::Read => f.write_str("read"),
+            UfoFaultKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_algebra() {
+        let b = UfoBits::FAULT_ON_READ | UfoBits::FAULT_ON_WRITE;
+        assert_eq!(b, UfoBits::FAULT_ON_BOTH);
+        assert!(b.contains(UfoBits::FAULT_ON_READ));
+        assert!(UfoBits::NONE.is_none());
+        assert!(!UfoBits::FAULT_ON_READ.is_none());
+    }
+
+    #[test]
+    fn fault_classification() {
+        assert!(UfoBits::FAULT_ON_WRITE.faults_on(true));
+        assert!(!UfoBits::FAULT_ON_WRITE.faults_on(false));
+        assert!(UfoBits::FAULT_ON_READ.faults_on(false));
+        assert!(UfoBits::FAULT_ON_BOTH.faults_on(true));
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        for raw in 0..4u8 {
+            assert_eq!(UfoBits::from_raw(raw).to_raw(), raw);
+        }
+        assert_eq!(UfoBits::from_raw(0b111).to_raw(), 0b11);
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        assert_eq!(format!("{:?}", UfoBits::FAULT_ON_BOTH), "UfoBits(for|fow)");
+        assert_eq!(format!("{:?}", UfoBits::NONE), "UfoBits(none)");
+    }
+}

@@ -1,0 +1,210 @@
+//! The per-thread execution context.
+
+use std::sync::Arc;
+
+use ufotm_machine::{
+    AbortInfo, AccessResult, Addr, BtmEvent, BtmStatus, CpuId, UfoBits,
+};
+
+use crate::engine::{Shared, World};
+
+/// Handle through which a logical thread executes operations on its CPU.
+///
+/// Each method runs exactly one *scheduled operation*: the thread blocks
+/// until the lockstep scheduler designates it (its CPU has the smallest
+/// clock), executes against the shared [`World`], and returns. Compound
+/// closures passed to [`Ctx::with`] execute atomically at the thread's
+/// current simulated time — use them for software metadata manipulation
+/// (e.g. an otable update under its chain lock), not for long stretches of
+/// simulated work.
+pub struct Ctx<U> {
+    cpu: CpuId,
+    shared: Arc<Shared<U>>,
+}
+
+impl<U> Ctx<U> {
+    pub(crate) fn new(cpu: CpuId, shared: Arc<Shared<U>>) -> Self {
+        Ctx { cpu, shared }
+    }
+
+    /// The CPU this thread runs on.
+    #[must_use]
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    /// Executes one scheduled operation against the world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine mutex was poisoned by another thread's panic.
+    pub fn with<R>(&mut self, f: impl FnOnce(&mut World<U>) -> R) -> R {
+        let mut state = self.shared.state.lock().expect("engine mutex poisoned");
+        loop {
+            if state.may_run(self.cpu) {
+                break;
+            }
+            if state.stale() {
+                state.pick_next();
+                self.shared.cv.notify_all();
+                continue;
+            }
+            state = self.shared.cv.wait(state).expect("engine mutex poisoned");
+        }
+        let r = f(&mut state.world);
+        if let Some(cap) = state.cycle_limit {
+            let now = state.world.machine.now(self.cpu);
+            assert!(
+                now <= cap,
+                "cycle limit exceeded: cpu {} reached {} > {} — \
+                 likely a livelock or deadlock in the protocol under test",
+                self.cpu,
+                now,
+                cap
+            );
+        }
+        if !state.may_run(self.cpu) {
+            state.pick_next();
+            self.shared.cv.notify_all();
+        }
+        r
+    }
+
+    // --- Machine conveniences -------------------------------------------
+
+    /// This CPU's local clock.
+    pub fn now(&mut self) -> u64 {
+        let cpu = self.cpu;
+        self.with(|w| w.machine.now(cpu))
+    }
+
+    /// Loads a word (see [`Machine::load`](ufotm_machine::Machine::load)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the machine's access errors (UFO fault, nack, abort).
+    pub fn load(&mut self, addr: Addr) -> AccessResult<u64> {
+        let cpu = self.cpu;
+        self.with(|w| w.machine.load(cpu, addr))
+    }
+
+    /// Stores a word (see [`Machine::store`](ufotm_machine::Machine::store)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the machine's access errors (UFO fault, nack, abort).
+    pub fn store(&mut self, addr: Addr, value: u64) -> AccessResult<()> {
+        let cpu = self.cpu;
+        self.with(|w| w.machine.store(cpu, addr, value))
+    }
+
+    /// Charges computation cycles.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces a pending transaction doom.
+    pub fn work(&mut self, cycles: u64) -> AccessResult<()> {
+        let cpu = self.cpu;
+        self.with(|w| w.machine.work(cpu, cycles))
+    }
+
+    /// Charges stall cycles (tracked separately in the stats).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces a pending transaction doom.
+    pub fn stall(&mut self, cycles: u64) -> AccessResult<()> {
+        let cpu = self.cpu;
+        self.with(|w| w.machine.stall(cpu, cycles))
+    }
+
+    /// Begins (or nests) a BTM transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates aborts (pending doom, nesting-depth overflow).
+    pub fn btm_begin(&mut self) -> AccessResult<()> {
+        let cpu = self.cpu;
+        self.with(|w| w.machine.btm_begin(cpu))
+    }
+
+    /// Commits the innermost BTM transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates aborts discovered at commit.
+    pub fn btm_end(&mut self) -> AccessResult<()> {
+        let cpu = self.cpu;
+        self.with(|w| w.machine.btm_end(cpu))
+    }
+
+    /// Explicitly aborts the current BTM transaction.
+    pub fn btm_abort(&mut self) -> AbortInfo {
+        let cpu = self.cpu;
+        self.with(|w| w.machine.btm_abort(cpu))
+    }
+
+    /// Aborts the current BTM transaction with a supplied reason.
+    pub fn btm_abort_with(&mut self, info: AbortInfo) -> AbortInfo {
+        let cpu = self.cpu;
+        self.with(|w| w.machine.btm_abort_with(cpu, info))
+    }
+
+    /// Raises a transactional event (syscall, I/O, …).
+    ///
+    /// # Errors
+    ///
+    /// Aborts the current transaction, if any.
+    pub fn btm_event(&mut self, event: BtmEvent) -> AccessResult<()> {
+        let cpu = self.cpu;
+        self.with(|w| w.machine.btm_event(cpu, event))
+    }
+
+    /// Reads the transactional status registers.
+    pub fn btm_status(&mut self) -> BtmStatus {
+        let cpu = self.cpu;
+        self.with(|w| w.machine.btm_status(cpu))
+    }
+
+    /// Enables/disables UFO fault delivery for this CPU.
+    pub fn set_ufo_enabled(&mut self, enabled: bool) {
+        let cpu = self.cpu;
+        self.with(|w| w.machine.set_ufo_enabled(cpu, enabled));
+    }
+
+    /// Sets a line's UFO bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the machine's errors (illegal inside a BTM transaction).
+    pub fn set_ufo_bits(&mut self, addr: Addr, bits: UfoBits) -> AccessResult<()> {
+        let cpu = self.cpu;
+        self.with(|w| w.machine.set_ufo_bits(cpu, addr, bits))
+    }
+
+    /// ORs bits into a line's UFO bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the machine's errors (illegal inside a BTM transaction).
+    pub fn add_ufo_bits(&mut self, addr: Addr, bits: UfoBits) -> AccessResult<()> {
+        let cpu = self.cpu;
+        self.with(|w| w.machine.add_ufo_bits(cpu, addr, bits))
+    }
+
+    /// Reads a line's UFO bits.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces a pending transaction doom.
+    pub fn read_ufo_bits(&mut self, addr: Addr) -> AccessResult<UfoBits> {
+        let cpu = self.cpu;
+        self.with(|w| w.machine.read_ufo_bits(cpu, addr))
+    }
+}
+
+impl<U> std::fmt::Debug for Ctx<U> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx").field("cpu", &self.cpu).finish_non_exhaustive()
+    }
+}

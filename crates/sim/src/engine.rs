@@ -1,0 +1,436 @@
+//! The lockstep scheduler.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use ufotm_machine::Machine;
+
+use crate::ctx::Ctx;
+
+/// Everything a logical thread can touch: the simulated hardware plus
+/// software-shared state (e.g. an STM's ownership table and transaction
+/// descriptors). Exactly one logical thread holds the `World` at a time.
+#[derive(Debug)]
+pub struct World<U> {
+    /// The simulated machine.
+    pub machine: Machine,
+    /// Software-shared state, chosen by the harness.
+    pub shared: U,
+}
+
+/// A logical thread body. It receives a [`Ctx`] bound to its CPU.
+pub type ThreadFn<U> = Box<dyn FnOnce(&mut Ctx<U>) + Send>;
+
+/// The outcome of a simulation run.
+#[derive(Debug)]
+pub struct SimResult<U> {
+    /// The machine in its final state (clocks, caches, stats).
+    pub machine: Machine,
+    /// The final software-shared state.
+    pub shared: U,
+    /// Simulated completion time: the maximum local clock over the CPUs
+    /// that ran a thread.
+    pub makespan: u64,
+    /// Final per-CPU clocks for the CPUs that ran threads.
+    pub finish_times: Vec<u64>,
+}
+
+pub(crate) struct EngineState<U> {
+    pub world: World<U>,
+    pub done: Vec<bool>,
+    /// The designated runner.
+    pub current: usize,
+    /// `current` may keep executing while its clock is ≤ `limit`.
+    pub limit: u64,
+    pub threads: usize,
+    pub quantum: u64,
+    /// Watchdog: panic if any CPU's clock passes this (None = unlimited).
+    pub cycle_limit: Option<u64>,
+}
+
+impl<U> EngineState<U> {
+    /// Re-designates the runner: the unfinished thread with the minimal
+    /// `(clock, id)`. `limit` becomes the next-smallest clock plus the
+    /// quantum, letting the runner batch a little work before handing off
+    /// (with the default quantum of 0 the interleaving is exact).
+    pub fn pick_next(&mut self) {
+        let clocks = self.world.machine.clocks();
+        let mut best: Option<(u64, usize)> = None;
+        let mut second: Option<u64> = None;
+        for t in 0..self.threads {
+            if self.done[t] {
+                continue;
+            }
+            let key = (clocks[t], t);
+            match best {
+                None => best = Some(key),
+                Some(b) if key < b => {
+                    second = Some(b.0);
+                    best = Some(key);
+                }
+                Some(_) => {
+                    second = Some(second.map_or(clocks[t], |s| s.min(clocks[t])));
+                }
+            }
+        }
+        if let Some((_, id)) = best {
+            self.current = id;
+            self.limit = second.map_or(u64::MAX, |s| s.saturating_add(self.quantum));
+        }
+    }
+
+    /// Whether thread `t` may execute an operation right now.
+    pub fn may_run(&self, t: usize) -> bool {
+        self.current == t && self.world.machine.clocks()[t] <= self.limit
+    }
+
+    /// Whether the schedule is stale (the designated runner cannot run).
+    pub fn stale(&self) -> bool {
+        self.done[self.current] || self.world.machine.clocks()[self.current] > self.limit
+    }
+}
+
+pub(crate) struct Shared<U> {
+    pub state: Mutex<EngineState<U>>,
+    pub cv: Condvar,
+}
+
+/// Marks a logical thread finished on drop (panic-safe).
+struct FinishGuard<'a, U> {
+    cpu: usize,
+    shared: &'a Arc<Shared<U>>,
+}
+
+impl<U> Drop for FinishGuard<'_, U> {
+    fn drop(&mut self) {
+        // If the mutex is poisoned the whole simulation is unwinding; the
+        // bookkeeping no longer matters.
+        if let Ok(mut state) = self.shared.state.lock() {
+            if !state.done[self.cpu] {
+                state.done[self.cpu] = true;
+                if state.current == self.cpu {
+                    state.pick_next();
+                }
+            }
+        }
+        self.shared.cv.notify_all();
+    }
+}
+
+/// A configured simulation, ready to [`run`](Sim::run).
+pub struct Sim<U> {
+    machine: Machine,
+    shared: U,
+    quantum: u64,
+    cycle_limit: Option<u64>,
+}
+
+impl<U: Send> Sim<U> {
+    /// Creates a simulation over `machine` with software-shared state
+    /// `shared`.
+    pub fn new(machine: Machine, shared: U) -> Self {
+        Sim { machine, shared, quantum: 0, cycle_limit: None }
+    }
+
+    /// Sets the scheduling quantum: how many cycles past the next thread's
+    /// clock the current runner may batch before handing off. 0 (the
+    /// default) is exact lockstep; small values (~50) trade a little
+    /// interleaving fidelity for host speed. Determinism is preserved for
+    /// any value.
+    #[must_use]
+    pub fn quantum(mut self, cycles: u64) -> Self {
+        self.quantum = cycles;
+        self
+    }
+
+    /// Arms a watchdog: the simulation panics (with the offending CPU and
+    /// clock) if any CPU's local clock exceeds `cycles`. Deadlocks and
+    /// livelocks in transactional protocols otherwise present as silent
+    /// infinite stall loops; a generous cap turns them into loud failures.
+    #[must_use]
+    pub fn cycle_limit(mut self, cycles: u64) -> Self {
+        self.cycle_limit = Some(cycles);
+        self
+    }
+
+    /// Runs one logical thread per entry of `threads` (thread `i` on CPU
+    /// `i`) to completion and returns the final world and timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more threads are supplied than the machine has CPUs, or if
+    /// a thread body panics.
+    pub fn run(self, threads: Vec<ThreadFn<U>>) -> SimResult<U> {
+        let n = threads.len();
+        assert!(
+            n <= self.machine.cpus(),
+            "{} threads but only {} CPUs",
+            n,
+            self.machine.cpus()
+        );
+        if n == 0 {
+            return SimResult {
+                makespan: 0,
+                finish_times: Vec::new(),
+                machine: self.machine,
+                shared: self.shared,
+            };
+        }
+        let mut state = EngineState {
+            world: World { machine: self.machine, shared: self.shared },
+            done: vec![false; n],
+            current: 0,
+            limit: 0,
+            threads: n,
+            quantum: self.quantum,
+            cycle_limit: self.cycle_limit,
+        };
+        state.pick_next();
+        let shared = Arc::new(Shared { state: Mutex::new(state), cv: Condvar::new() });
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (cpu, body) in threads.into_iter().enumerate() {
+                let sh = Arc::clone(&shared);
+                handles.push(scope.spawn(move || {
+                    // The guard marks this logical thread done even if the
+                    // body panics, so the other threads are not left waiting
+                    // for a turn that never comes and the panic propagates
+                    // cleanly through join.
+                    let _guard = FinishGuard { cpu, shared: &sh };
+                    let mut ctx = Ctx::new(cpu, Arc::clone(&sh));
+                    body(&mut ctx);
+                }));
+            }
+            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for h in handles {
+                if let Err(e) = h.join() {
+                    panic.get_or_insert(e);
+                }
+            }
+            if let Some(e) = panic {
+                std::panic::resume_unwind(e);
+            }
+        });
+
+        let state = Arc::into_inner(shared)
+            .expect("all thread handles joined")
+            .state
+            .into_inner()
+            .expect("engine mutex not poisoned");
+        let clocks = state.world.machine.clocks();
+        let finish_times: Vec<u64> = clocks[..n].to_vec();
+        let makespan = finish_times.iter().copied().max().unwrap_or(0);
+        SimResult {
+            makespan,
+            finish_times,
+            machine: state.world.machine,
+            shared: state.world.shared,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufotm_machine::{Addr, MachineConfig};
+
+    fn machine(cpus: usize) -> Machine {
+        Machine::new(MachineConfig::small(cpus))
+    }
+
+    #[test]
+    fn single_thread_runs_to_completion() {
+        let r = Sim::new(machine(1), 0u64).run(vec![Box::new(|ctx| {
+            ctx.work(100).unwrap();
+            ctx.with(|w| w.shared = 7);
+        })]);
+        assert_eq!(r.shared, 7);
+        assert_eq!(r.makespan, 100);
+    }
+
+    #[test]
+    fn threads_interleave_by_clock() {
+        // Thread 1 only observes values written at earlier simulated times.
+        let r = Sim::new(machine(2), Vec::<(usize, u64)>::new()).run(vec![
+            Box::new(|ctx| {
+                for _ in 0..10 {
+                    ctx.work(10).unwrap();
+                    let now = ctx.now();
+                    ctx.with(move |w| w.shared.push((0, now)));
+                }
+            }),
+            Box::new(|ctx| {
+                for _ in 0..10 {
+                    ctx.work(10).unwrap();
+                    let now = ctx.now();
+                    ctx.with(move |w| w.shared.push((1, now)));
+                }
+            }),
+        ]);
+        // Events must be sorted by simulated time.
+        let times: Vec<u64> = r.shared.iter().map(|&(_, t)| t).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "events out of simulated-time order: {:?}", r.shared);
+        assert_eq!(r.shared.len(), 20);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run_once = || {
+            Sim::new(machine(4), Vec::<usize>::new()).run(
+                (0..4)
+                    .map(|i| -> ThreadFn<Vec<usize>> {
+                        Box::new(move |ctx| {
+                            for k in 0..20 {
+                                ctx.work(7 + ((i * 13 + k) % 5) as u64).unwrap();
+                                ctx.with(move |w| w.shared.push(i));
+                            }
+                        })
+                    })
+                    .collect(),
+            )
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.shared, b.shared);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.finish_times, b.finish_times);
+    }
+
+    #[test]
+    fn unequal_thread_lengths_finish_cleanly() {
+        let r = Sim::new(machine(3), ()).run(vec![
+            Box::new(|ctx| ctx.work(5).unwrap()),
+            Box::new(|ctx| ctx.work(5000).unwrap()),
+            Box::new(|ctx| {
+                for _ in 0..100 {
+                    ctx.work(3).unwrap();
+                }
+            }),
+        ]);
+        assert_eq!(r.makespan, 5000);
+        assert_eq!(r.finish_times, vec![5, 5000, 300]);
+    }
+
+    #[test]
+    fn quantum_preserves_determinism() {
+        let run_with = |q: u64| {
+            Sim::new(machine(2), Vec::<(usize, u64)>::new())
+                .quantum(q)
+                .run(vec![
+                    Box::new(|ctx| {
+                        for _ in 0..50 {
+                            ctx.work(4).unwrap();
+                            let now = ctx.now();
+                            ctx.with(move |w| w.shared.push((0, now)));
+                        }
+                    }),
+                    Box::new(|ctx| {
+                        for _ in 0..50 {
+                            ctx.work(6).unwrap();
+                            let now = ctx.now();
+                            ctx.with(move |w| w.shared.push((1, now)));
+                        }
+                    }),
+                ])
+        };
+        assert_eq!(run_with(25).shared, run_with(25).shared);
+        // Makespan is independent of the quantum (it only batches host-side).
+        assert_eq!(run_with(0).makespan, run_with(25).makespan);
+    }
+
+    #[test]
+    fn machine_ops_work_through_ctx() {
+        let a = Addr::from_word_index(5);
+        let r = Sim::new(machine(2), ()).run(vec![
+            Box::new(move |ctx| {
+                ctx.store(a, 41).unwrap();
+            }),
+            Box::new(move |ctx| {
+                ctx.work(10_000).unwrap(); // run well after thread 0
+                let v = ctx.load(a).unwrap();
+                assert_eq!(v, 41);
+            }),
+        ]);
+        assert_eq!(r.machine.peek(a), 41);
+    }
+
+    #[test]
+    fn zero_threads_is_a_noop() {
+        let r = Sim::new(machine(1), 3u32).run(Vec::new());
+        assert_eq!(r.makespan, 0);
+        assert_eq!(r.shared, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "CPUs")]
+    fn too_many_threads_panics() {
+        let bodies: Vec<ThreadFn<()>> =
+            (0..3).map(|_| -> ThreadFn<()> { Box::new(|_| {}) }).collect();
+        Sim::new(machine(2), ()).run(bodies);
+    }
+
+    #[test]
+    #[should_panic(expected = "workload bug")]
+    fn body_panic_propagates_without_deadlocking() {
+        // The panicking thread must not leave its peers waiting forever;
+        // the panic resurfaces from Sim::run.
+        Sim::new(machine(2), ()).run(vec![
+            Box::new(|ctx| {
+                // Runs plenty of ops while (and after) the other panics.
+                for _ in 0..50 {
+                    ctx.work(10).unwrap();
+                }
+            }),
+            Box::new(|ctx| {
+                ctx.work(25).unwrap();
+                panic!("workload bug");
+            }),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle limit exceeded")]
+    fn cycle_limit_converts_livelock_into_panic() {
+        // An endless stall loop (a protocol livelock in miniature) trips
+        // the watchdog instead of hanging the host.
+        Sim::new(machine(1), ()).cycle_limit(10_000).run(vec![Box::new(|ctx| loop {
+            ctx.stall(100).unwrap();
+        })]);
+    }
+
+    #[test]
+    fn cycle_limit_does_not_fire_under_the_cap() {
+        let r = Sim::new(machine(2), ()).cycle_limit(1_000_000).run(vec![
+            Box::new(|ctx| ctx.work(500).unwrap()),
+            Box::new(|ctx| ctx.work(700).unwrap()),
+        ]);
+        assert_eq!(r.makespan, 700);
+    }
+
+    #[test]
+    fn peers_finish_even_if_one_panics_mid_run() {
+        let r = std::panic::catch_unwind(|| {
+            Sim::new(machine(3), Vec::<usize>::new()).run(vec![
+                Box::new(|ctx| {
+                    for _ in 0..100 {
+                        ctx.work(5).unwrap();
+                    }
+                    ctx.with(|w| w.shared.push(0));
+                }),
+                Box::new(|ctx| {
+                    ctx.work(3).unwrap();
+                    panic!("boom");
+                }),
+                Box::new(|ctx| {
+                    for _ in 0..100 {
+                        ctx.work(7).unwrap();
+                    }
+                    ctx.with(|w| w.shared.push(2));
+                }),
+            ])
+        });
+        assert!(r.is_err(), "panic must propagate");
+    }
+}

@@ -1,0 +1,41 @@
+//! # `ufotm-sim` — the deterministic lockstep execution engine
+//!
+//! The paper evaluates its TM systems on a multiprocessor timing simulator.
+//! This crate provides the execution-engine half of that substitution: it
+//! runs one *logical thread* per simulated CPU and interleaves them
+//! **deterministically** by always letting the unfinished thread with the
+//! smallest `(local clock, cpu id)` execute the next operation against the
+//! shared [`World`] (the [`Machine`](ufotm_machine::Machine) plus
+//! software-shared state such as an STM's ownership table).
+//!
+//! Logical threads are backed by OS threads parked on a condvar, so workload
+//! code is written as ordinary straight-line Rust — no hand-rolled state
+//! machines — while the simulation stays single-threaded in effect:
+//! exactly one logical thread touches the `World` at a time, and which one
+//! is a pure function of the simulated clocks. Simulated time is therefore
+//! reproducible on any host, including a single-core one.
+//!
+//! ```
+//! use ufotm_machine::{Machine, MachineConfig, Addr};
+//! use ufotm_sim::Sim;
+//!
+//! let machine = Machine::new(MachineConfig::small(2));
+//! let result = Sim::new(machine, ()).run(vec![
+//!     Box::new(|ctx| {
+//!         ctx.store(Addr::from_word_index(0), 1).unwrap();
+//!     }),
+//!     Box::new(|ctx| {
+//!         ctx.work(5).unwrap();
+//!     }),
+//! ]);
+//! assert!(result.makespan > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ctx;
+mod engine;
+
+pub use ctx::Ctx;
+pub use engine::{Sim, SimResult, ThreadFn, World};

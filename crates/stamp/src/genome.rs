@@ -1,0 +1,166 @@
+//! genome: segment de-duplication and sorted assembly (paper §5.1).
+//!
+//! Phase 1 inserts overlapping random segments into a shared hash set
+//! (small transactions, moderate contention on buckets). Phase 2 inserts
+//! the unique segments into a shared **sorted linked list** — the paper
+//! singles this out: inserts read the whole list prefix, so a writer kills
+//! every younger reader of the written prefix, making genome the stress
+//! test for robust contention management and the source of its periodic
+//! cache overflows (long prefixes overflow the L1).
+
+use ufotm_machine::{Addr, Machine};
+
+use crate::harness::{chunk, run_workload, RunOutcome, RunSpec, STATIC_BASE};
+use crate::structures::{HashSet, SortedList};
+use crate::world::{Barrier, StampWorld};
+
+/// genome parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GenomeParams {
+    /// Raw segments generated (with duplicates).
+    pub segments: usize,
+    /// Distinct segment value space (smaller = more duplicates).
+    pub segment_space: u64,
+    /// Hash-set buckets (power of two).
+    pub buckets: u64,
+}
+
+impl GenomeParams {
+    /// The scaled-down default configuration.
+    #[must_use]
+    pub fn standard() -> Self {
+        GenomeParams { segments: 384, segment_space: 1 << 30, buckets: 128 }
+    }
+
+    fn set_base(&self) -> Addr {
+        STATIC_BASE
+    }
+
+    fn list_head(&self) -> Addr {
+        self.set_base().add_words(self.buckets)
+    }
+}
+
+fn segment(seed: u64, i: usize) -> u64 {
+    let mut x = seed ^ (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    // Bias toward duplicates: fold into the segment space, then square off
+    // the low bits so nearby indices collide sometimes.
+    (x % (1 << 16)) % 977 + (x % 7) * 1000 + 1 // never 0 (0 = null key)
+}
+
+/// Runs genome under `spec`.
+///
+/// # Panics
+///
+/// Panics if verification fails: the final list must contain exactly the
+/// distinct segments, in sorted order, and the hash set must agree.
+pub fn run(spec: &RunSpec, params: &GenomeParams) -> RunOutcome {
+    let p = *params;
+    let seed = spec.seed;
+    let threads = spec.threads;
+
+    let setup = move |_m: &mut Machine, _w: &mut StampWorld| {
+        // Bucket array and list head start zeroed; nothing to do.
+    };
+
+    let make_body = move |tid: usize| -> crate::harness::WorkBody {
+        Box::new(move |t, ctx| {
+            let set = HashSet::new(p.set_base(), p.buckets);
+            let list = SortedList::new(p.list_head());
+            let (start, end) = chunk(p.segments, threads, tid);
+            // Phase 1: de-duplicate into the hash set. Remember which keys
+            // *we* inserted first — exactly those are ours to assemble.
+            let mut mine = Vec::new();
+            for i in start..end {
+                let key = segment(seed, i);
+                let fresh = t.transaction(ctx, |tx, ctx| set.insert(tx, ctx, key));
+                if fresh {
+                    mine.push(key);
+                }
+                ctx.work(30).expect("segment prep");
+            }
+            Barrier::wait(ctx);
+            // Phase 2: sorted assembly (the contention stress).
+            for key in mine {
+                let inserted = t.transaction(ctx, |tx, ctx| list.insert(tx, ctx, key, key ^ 1));
+                assert!(inserted, "key {key} was uniquely ours");
+                ctx.work(20).expect("assembly prep");
+            }
+            Barrier::wait(ctx);
+            // Phase 3: matching — read-mostly probes against the set (the
+            // bulk of STAMP genome's runtime; embarrassingly parallel).
+            for i in start..end {
+                let key = segment(seed, i);
+                let probes = [key, key ^ 3, key.wrapping_add(17)];
+                let hits = t.transaction(ctx, |tx, ctx| {
+                    let mut hits = 0u64;
+                    for p in probes {
+                        if set.contains(tx, ctx, p)? {
+                            hits += 1;
+                        }
+                    }
+                    Ok(hits)
+                });
+                assert!(hits >= 1, "own segment must be present");
+                ctx.work(120).expect("match compute");
+            }
+        })
+    };
+
+    let verify = move |m: &Machine, _w: &StampWorld| {
+        let set = HashSet::new(p.set_base(), p.buckets);
+        let list = SortedList::new(p.list_head());
+        let mut expected: Vec<u64> = (0..p.segments).map(|i| segment(seed, i)).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        let keys = list.peek_keys(m);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "list must be strictly sorted");
+        assert_eq!(keys, expected, "list contents diverge from the distinct segments");
+        let mut set_keys = set.peek_all(m);
+        set_keys.sort_unstable();
+        assert_eq!(set_keys, expected, "hash set contents diverge");
+    };
+
+    run_workload(spec, setup, make_body, verify)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufotm_core::SystemKind;
+
+    fn tiny() -> GenomeParams {
+        GenomeParams { segments: 80, segment_space: 1 << 30, buckets: 32 }
+    }
+
+    #[test]
+    fn genome_verifies_on_sequential() {
+        run(&RunSpec::new(SystemKind::Sequential, 1), &tiny());
+    }
+
+    #[test]
+    fn genome_verifies_on_hybrids_and_stms() {
+        for kind in [
+            SystemKind::UfoHybrid,
+            SystemKind::PhTm,
+            SystemKind::UstmStrong,
+            SystemKind::Tl2,
+        ] {
+            run(&RunSpec::new(kind, 3), &tiny());
+        }
+    }
+
+    #[test]
+    fn genome_has_duplicates_to_deduplicate() {
+        let p = tiny();
+        let mut all: Vec<u64> = (0..p.segments).map(|i| segment(1, i)).collect();
+        let total = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert!(all.len() < total, "parameters should produce duplicates");
+        assert!(all.len() > total / 4, "but not only duplicates");
+    }
+}

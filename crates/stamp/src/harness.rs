@@ -1,0 +1,232 @@
+//! The run harness: builds a machine + world for a [`SystemKind`], runs the
+//! workload threads, verifies, and collects the numbers the benchmark
+//! drivers report.
+//!
+//! Simulated-address conventions: the first 4 KiB belong to the harness
+//! (the phase barrier lives there); workload static data starts at 4 KiB;
+//! the shared heap and TM metadata are placed by
+//! [`TmSharedLayout::standard`](ufotm_core::TmSharedLayout).
+
+use std::collections::BTreeMap;
+
+use ufotm_core::{HybridPolicy, SystemKind, TmShared, TmThread};
+use ufotm_machine::{AbortReason, Addr, Machine, MachineConfig};
+use ufotm_sim::{Ctx, Sim, ThreadFn};
+use ufotm_tl2::Tl2Stats;
+use ufotm_ustm::UstmStats;
+
+use crate::world::{Barrier, StampWorld};
+
+/// Simulated address of the harness barrier counter.
+const BARRIER_ADDR: Addr = Addr(64);
+
+/// First simulated address available to workload static data.
+pub const STATIC_BASE: Addr = Addr(4096);
+
+/// Everything needed to run one workload configuration.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// The TM system under test.
+    pub kind: SystemKind,
+    /// Worker thread count (= CPUs used).
+    pub threads: usize,
+    /// Hybrid policy knobs.
+    pub policy: HybridPolicy,
+    /// Machine configuration (CPU count and unbounded-BTM flag are fixed up
+    /// automatically).
+    pub machine: MachineConfig,
+    /// Engine scheduling quantum (0 = exact lockstep).
+    pub quantum: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Override the USTM otable bin count (default: the standard layout's
+    /// 16384). Used by the otable-size ablation.
+    pub otable_bins_override: Option<u64>,
+}
+
+impl RunSpec {
+    /// A spec with the paper's Table 4 machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    #[must_use]
+    pub fn new(kind: SystemKind, threads: usize) -> Self {
+        assert!(threads >= 1, "at least one thread");
+        RunSpec {
+            kind,
+            threads,
+            policy: HybridPolicy::default(),
+            machine: MachineConfig::table4(threads.max(1)),
+            quantum: 0,
+            seed: 0xC0FF_EE11,
+            otable_bins_override: None,
+        }
+    }
+
+    fn machine_config(&self) -> MachineConfig {
+        let mut cfg = self.machine.clone();
+        cfg.cpus = self.threads;
+        if self.kind.needs_unbounded_btm() {
+            cfg.btm_unbounded = true;
+        }
+        cfg
+    }
+}
+
+/// Collected results of one run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The system that ran.
+    pub kind: SystemKind,
+    /// Thread count.
+    pub threads: usize,
+    /// Simulated completion time (max CPU clock).
+    pub makespan: u64,
+    /// Transactions committed in hardware.
+    pub hw_commits: u64,
+    /// Transactions committed in software.
+    pub sw_commits: u64,
+    /// Transactions committed under the lock / serially.
+    pub lock_commits: u64,
+    /// Machine-level BTM aborts by reason (Figure 6's raw data).
+    pub aborts: BTreeMap<AbortReason, u64>,
+    /// Driver failovers by triggering reason.
+    pub failovers: BTreeMap<AbortReason, u64>,
+    /// Microbenchmark-forced failovers.
+    pub forced_failovers: u64,
+    /// USTM counters.
+    pub ustm: UstmStats,
+    /// TL2 counters.
+    pub tl2: Tl2Stats,
+    /// PhTM phase aborts.
+    pub phase_aborts: u64,
+    /// PhTM stalls waiting for an STM phase to drain.
+    pub phase_stalls: u64,
+    /// Total simulated memory accesses.
+    pub accesses: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// Nacked transactional requests.
+    pub nacks: u64,
+    /// UFO faults delivered.
+    pub ufo_faults: u64,
+    /// Cycles spent in explicit stalls.
+    pub stall_cycles: u64,
+}
+
+impl RunOutcome {
+    /// Total committed transactions.
+    #[must_use]
+    pub fn total_commits(&self) -> u64 {
+        self.hw_commits + self.sw_commits + self.lock_commits
+    }
+
+    /// Total BTM aborts.
+    #[must_use]
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts.values().sum()
+    }
+
+    /// Aborts for one reason.
+    #[must_use]
+    pub fn aborts_for(&self, reason: AbortReason) -> u64 {
+        self.aborts.get(&reason).copied().unwrap_or(0)
+    }
+}
+
+/// A workload thread body, given its runtime and context.
+pub type WorkBody = Box<dyn FnOnce(&mut TmThread, &mut Ctx<StampWorld>) + Send>;
+
+/// Runs one configuration: `setup` initializes simulated memory, `make_body`
+/// produces each thread's work, `verify` checks invariants on the final
+/// world (panicking on violation).
+pub fn run_workload(
+    spec: &RunSpec,
+    setup: impl FnOnce(&mut Machine, &mut StampWorld),
+    make_body: impl Fn(usize) -> WorkBody,
+    verify: impl FnOnce(&Machine, &StampWorld),
+) -> RunOutcome {
+    let cfg = spec.machine_config();
+    let mut layout = ufotm_core::TmSharedLayout::standard(&cfg);
+    if let Some(bins) = spec.otable_bins_override {
+        layout.otable_bins = bins;
+    }
+    let tm = TmShared::new(spec.kind, cfg.cpus, layout);
+    let mut machine = Machine::new(cfg);
+    let mut world = StampWorld {
+        tm,
+        barrier: Barrier::new(BARRIER_ADDR, spec.threads),
+    };
+    setup(&mut machine, &mut world);
+    let kind = spec.kind;
+    let policy = spec.policy;
+    let bodies: Vec<ThreadFn<StampWorld>> = (0..spec.threads)
+        .map(|cpu| {
+            let body = make_body(cpu);
+            let f: ThreadFn<StampWorld> = Box::new(move |ctx| {
+                let mut t = TmThread::with_policy(kind, cpu, policy);
+                t.install(ctx);
+                body(&mut t, ctx);
+            });
+            f
+        })
+        .collect();
+    let r = Sim::new(machine, world).quantum(spec.quantum).run(bodies);
+    verify(&r.machine, &r.shared);
+
+    let agg = r.machine.stats().aggregate();
+    RunOutcome {
+        kind: spec.kind,
+        threads: spec.threads,
+        makespan: r.makespan,
+        hw_commits: r.shared.tm.stats.hw_commits,
+        sw_commits: r.shared.tm.stats.sw_commits,
+        lock_commits: r.shared.tm.stats.lock_commits,
+        aborts: agg.btm_aborts.clone(),
+        failovers: r.shared.tm.stats.failovers.clone(),
+        forced_failovers: r.shared.tm.stats.forced_failovers,
+        ustm: r.shared.tm.ustm.stats,
+        tl2: r.shared.tm.tl2.stats,
+        phase_aborts: r.shared.tm.phtm.phase_aborts,
+        phase_stalls: r.shared.tm.phtm.phase_stalls,
+        accesses: agg.accesses,
+        l1_misses: agg.l1_misses,
+        nacks: agg.nacks,
+        ufo_faults: agg.ufo_faults,
+        stall_cycles: agg.stall_cycles,
+    }
+}
+
+/// Splits `total` items into per-thread `(start, end)` chunks.
+#[must_use]
+pub fn chunk(total: usize, threads: usize, tid: usize) -> (usize, usize) {
+    let base = total / threads;
+    let rem = total % threads;
+    let start = tid * base + tid.min(rem);
+    let len = base + usize::from(tid < rem);
+    (start, start + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_partition_exactly() {
+        for total in [0, 1, 7, 100, 101] {
+            for threads in [1, 2, 3, 8] {
+                let mut covered = 0;
+                let mut expected_start = 0;
+                for tid in 0..threads {
+                    let (s, e) = chunk(total, threads, tid);
+                    assert_eq!(s, expected_start);
+                    assert!(e >= s);
+                    covered += e - s;
+                    expected_start = e;
+                }
+                assert_eq!(covered, total, "total={total} threads={threads}");
+            }
+        }
+    }
+}

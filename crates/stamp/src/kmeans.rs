@@ -1,0 +1,271 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the math
+
+//! kmeans: clustering with small, hot transactions (paper §5.1).
+//!
+//! Each thread assigns its chunk of points to the nearest cluster centre
+//! (non-transactional reads + compute), then transactionally adds the point
+//! into the cluster's accumulator — one small transaction per point, all
+//! threads hammering `K` accumulator lines. High contention = few clusters.
+//! Between iterations, thread 0 recomputes the centres at a barrier.
+
+use ufotm_core::{nont_load, nont_store};
+use ufotm_machine::{Addr, Machine, LINE_WORDS};
+
+use crate::harness::{chunk, run_workload, RunOutcome, RunSpec, STATIC_BASE};
+use crate::world::{Barrier, StampWorld};
+
+/// kmeans parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct KmeansParams {
+    /// Number of points.
+    pub points: usize,
+    /// Dimensions per point.
+    pub dims: usize,
+    /// Number of clusters (fewer = more contention).
+    pub clusters: usize,
+    /// Assignment iterations.
+    pub iterations: usize,
+}
+
+impl KmeansParams {
+    /// The paper's high-contention configuration, scaled down.
+    #[must_use]
+    pub fn high_contention() -> Self {
+        KmeansParams { points: 768, dims: 4, clusters: 4, iterations: 2 }
+    }
+
+    /// The paper's low-contention configuration, scaled down.
+    #[must_use]
+    pub fn low_contention() -> Self {
+        KmeansParams { points: 768, dims: 4, clusters: 32, iterations: 2 }
+    }
+
+    fn points_base(&self) -> Addr {
+        STATIC_BASE
+    }
+
+    fn point(&self, i: usize, d: usize) -> Addr {
+        self.points_base().add_words((i * self.dims + d) as u64)
+    }
+
+    fn centers_base(&self) -> Addr {
+        let end = self.points_base().add_words((self.points * self.dims) as u64);
+        Addr(end.0.next_multiple_of(64))
+    }
+
+    fn center(&self, k: usize, d: usize) -> Addr {
+        // One line per centre.
+        self.centers_base().add_words(k as u64 * LINE_WORDS + d as u64)
+    }
+
+    fn accs_base(&self) -> Addr {
+        Addr(self.centers_base().0 + self.clusters as u64 * 64)
+    }
+
+    /// Accumulator layout: word 0 = count, words 1..=D = per-dim sums.
+    fn acc(&self, k: usize, field: usize) -> Addr {
+        self.accs_base().add_words(k as u64 * LINE_WORDS + field as u64)
+    }
+}
+
+/// Deterministic point generator (xorshift on the seed).
+fn coord(seed: u64, i: usize, d: usize) -> u64 {
+    let mut x = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (d as u64) << 17;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x % 1024
+}
+
+fn nearest(point: &[u64], centers: &[Vec<u64>]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = u64::MAX;
+    for (k, c) in centers.iter().enumerate() {
+        let d: u64 = point
+            .iter()
+            .zip(c.iter())
+            .map(|(&p, &q)| {
+                let diff = p.abs_diff(q);
+                diff * diff
+            })
+            .sum();
+        if d < best_d {
+            best_d = d;
+            best = k;
+        }
+    }
+    best
+}
+
+/// Runs kmeans under `spec` and returns the collected numbers.
+///
+/// # Panics
+///
+/// Panics if verification fails (accumulators must match a host-side
+/// recomputation exactly — integer arithmetic makes the result independent
+/// of commit order).
+pub fn run(spec: &RunSpec, params: &KmeansParams) -> RunOutcome {
+    let p = *params;
+    let seed = spec.seed;
+    let threads = spec.threads;
+    let iterations = p.iterations;
+
+    let setup = move |m: &mut Machine, _w: &mut StampWorld| {
+        for i in 0..p.points {
+            for d in 0..p.dims {
+                m.poke(p.point(i, d), coord(seed, i, d));
+            }
+        }
+        for k in 0..p.clusters {
+            for d in 0..p.dims {
+                // Initial centres = the first K points.
+                m.poke(p.center(k, d), coord(seed, k, d));
+            }
+        }
+    };
+
+    let make_body = move |tid: usize| -> crate::harness::WorkBody {
+        Box::new(move |t, ctx| {
+            let (start, end) = chunk(p.points, threads, tid);
+            for iter in 0..iterations {
+                for i in start..end {
+                    // Plain reads of the point and all centres, plus the
+                    // distance computation.
+                    let mut pt = vec![0u64; p.dims];
+                    for (d, v) in pt.iter_mut().enumerate() {
+                        *v = nont_load(ctx, p.point(i, d));
+                    }
+                    let mut centers = vec![vec![0u64; p.dims]; p.clusters];
+                    for (k, c) in centers.iter_mut().enumerate() {
+                        for (d, v) in c.iter_mut().enumerate() {
+                            *v = nont_load(ctx, p.center(k, d));
+                        }
+                    }
+                    ctx.work((p.clusters * p.dims * 3) as u64).expect("distance compute");
+                    let k = nearest(&pt, &centers);
+                    // The transaction: fold the point into accumulator k.
+                    let pt2 = pt.clone();
+                    t.transaction(ctx, |tx, ctx| {
+                        let c = tx.read(ctx, p.acc(k, 0))?;
+                        tx.write(ctx, p.acc(k, 0), c + 1)?;
+                        for (d, v) in pt2.iter().enumerate() {
+                            let s = tx.read(ctx, p.acc(k, d + 1))?;
+                            tx.write(ctx, p.acc(k, d + 1), s + v)?;
+                        }
+                        Ok(())
+                    });
+                }
+                Barrier::wait(ctx);
+                if tid == 0 && iter + 1 < iterations {
+                    // Recompute centres and reset accumulators for the next
+                    // pass (plain accesses: everyone else is at the barrier).
+                    for k in 0..p.clusters {
+                        let count = nont_load(ctx, p.acc(k, 0));
+                        if count > 0 {
+                            for d in 0..p.dims {
+                                let sum = nont_load(ctx, p.acc(k, d + 1));
+                                nont_store(ctx, p.center(k, d), sum / count);
+                            }
+                        }
+                        nont_store(ctx, p.acc(k, 0), 0);
+                        for d in 0..p.dims {
+                            nont_store(ctx, p.acc(k, d + 1), 0);
+                        }
+                    }
+                }
+                Barrier::wait(ctx);
+            }
+        })
+    };
+
+    let verify = move |m: &Machine, _w: &StampWorld| {
+        // Host-side replay: same integer arithmetic, same tie-breaks.
+        let mut centers: Vec<Vec<u64>> = (0..p.clusters)
+            .map(|k| (0..p.dims).map(|d| coord(seed, k, d)).collect())
+            .collect();
+        let mut counts = vec![0u64; p.clusters];
+        let mut sums = vec![vec![0u64; p.dims]; p.clusters];
+        for iter in 0..iterations {
+            counts.iter_mut().for_each(|c| *c = 0);
+            sums.iter_mut().for_each(|s| s.iter_mut().for_each(|v| *v = 0));
+            for i in 0..p.points {
+                let pt: Vec<u64> = (0..p.dims).map(|d| coord(seed, i, d)).collect();
+                let k = nearest(&pt, &centers);
+                counts[k] += 1;
+                for (d, v) in pt.iter().enumerate() {
+                    sums[k][d] += v;
+                }
+            }
+            if iter + 1 < iterations {
+                for k in 0..p.clusters {
+                    if counts[k] > 0 {
+                        for d in 0..p.dims {
+                            centers[k][d] = sums[k][d] / counts[k];
+                        }
+                    }
+                }
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        assert_eq!(total, p.points as u64);
+        for k in 0..p.clusters {
+            assert_eq!(
+                m.peek(p.acc(k, 0)),
+                counts[k],
+                "cluster {k} count diverged (lost transactional updates?)"
+            );
+            for d in 0..p.dims {
+                assert_eq!(m.peek(p.acc(k, d + 1)), sums[k][d], "cluster {k} dim {d} sum");
+            }
+        }
+    };
+
+    run_workload(spec, setup, make_body, verify)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufotm_core::SystemKind;
+
+    fn tiny() -> KmeansParams {
+        KmeansParams { points: 96, dims: 2, clusters: 4, iterations: 2 }
+    }
+
+    #[test]
+    fn kmeans_verifies_on_sequential() {
+        let spec = RunSpec::new(SystemKind::Sequential, 1);
+        let out = run(&spec, &tiny());
+        assert_eq!(out.total_commits(), 96 * 2);
+    }
+
+    #[test]
+    fn kmeans_verifies_on_ufo_hybrid() {
+        let spec = RunSpec::new(SystemKind::UfoHybrid, 4);
+        let out = run(&spec, &tiny());
+        assert_eq!(out.total_commits(), 96 * 2);
+        assert!(out.hw_commits > 0, "kmeans txns should run in hardware");
+    }
+
+    #[test]
+    fn kmeans_verifies_on_stms() {
+        for kind in [SystemKind::UstmStrong, SystemKind::Tl2] {
+            let spec = RunSpec::new(kind, 2);
+            let out = run(&spec, &tiny());
+            assert_eq!(out.total_commits(), 96 * 2, "{kind}");
+        }
+    }
+
+    #[test]
+    fn parallel_beats_sequential_in_simulated_time() {
+        let p = tiny();
+        let seq = run(&RunSpec::new(SystemKind::Sequential, 1), &p);
+        let par = run(&RunSpec::new(SystemKind::UnboundedHtm, 4), &p);
+        assert!(
+            par.makespan < seq.makespan,
+            "4-thread HTM ({}) should beat sequential ({})",
+            par.makespan,
+            seq.makespan
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! The software-failover microbenchmark (paper §5.3, Figure 7).
+//!
+//! Each thread runs conflict-free transactions over its own private lines;
+//! a prescribed fraction of transactions is randomly forced to fail over
+//! to software. This isolates the cost of failover from contention: the
+//! UFO hybrid and HyTM degrade linearly toward pure-STM performance with
+//! the failover rate, while PhTM degrades faster because one software
+//! transaction drags concurrent hardware transactions along with it.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ufotm_machine::{Addr, Machine};
+
+use crate::harness::{run_workload, RunOutcome, RunSpec, STATIC_BASE};
+use crate::world::StampWorld;
+
+/// Microbenchmark parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MicroParams {
+    /// Transactions per thread.
+    pub txns_per_thread: usize,
+    /// Distinct private lines each transaction reads and writes.
+    pub lines_per_txn: usize,
+    /// Compute cycles inside each transaction.
+    pub work_cycles: u64,
+    /// Probability (0.0–1.0) that a transaction is forced to software.
+    pub failover_rate: f64,
+}
+
+impl MicroParams {
+    /// The standard configuration at a given failover rate.
+    #[must_use]
+    pub fn with_rate(failover_rate: f64) -> Self {
+        MicroParams {
+            txns_per_thread: 200,
+            lines_per_txn: 4,
+            work_cycles: 150,
+            failover_rate,
+        }
+    }
+
+    /// Base address of `tid`'s private region.
+    fn region(&self, tid: usize) -> Addr {
+        // 64 lines per thread keeps regions set-disjoint enough.
+        Addr(STATIC_BASE.0 + (tid as u64) * 64 * 64)
+    }
+}
+
+/// Runs the microbenchmark under `spec`.
+///
+/// The failover forcing is only armed for hybrid systems (pure systems have
+/// nothing to fail over to; the paper plots them as flat references).
+///
+/// # Panics
+///
+/// Panics if verification fails (every private counter must equal the
+/// transaction count).
+pub fn run(spec: &RunSpec, params: &MicroParams) -> RunOutcome {
+    let p = *params;
+    let seed = spec.seed;
+    let threads = spec.threads;
+    let force_armed = spec.kind.is_hybrid();
+
+    let setup = move |_m: &mut Machine, _w: &mut StampWorld| {};
+
+    let make_body = move |tid: usize| -> crate::harness::WorkBody {
+        Box::new(move |t, ctx| {
+            let mut rng = SmallRng::seed_from_u64(seed ^ ((tid as u64) << 24));
+            let region = p.region(tid);
+            // Pre-decide which transactions are forced, so retries of the
+            // same transaction stay consistent.
+            let forced: Vec<bool> = (0..p.txns_per_thread)
+                .map(|_| force_armed && rng.gen_bool(p.failover_rate))
+                .collect();
+            for &force in forced.iter() {
+                t.transaction(ctx, |tx, ctx| {
+                    if force_armed {
+                        // The hybrid's failover-decision instrumentation
+                        // (the ~6% overhead the paper measures at 0%).
+                        tx.work(ctx, 8)?;
+                    }
+                    if force {
+                        tx.force_failover(ctx)?;
+                    }
+                    for l in 0..p.lines_per_txn {
+                        let a = Addr(region.0 + (l as u64) * 64);
+                        let v = tx.read(ctx, a)?;
+                        tx.write(ctx, a, v + 1)?;
+                    }
+                    tx.work(ctx, p.work_cycles)?;
+                    Ok(())
+                });
+            }
+        })
+    };
+
+    let verify = move |m: &Machine, _w: &StampWorld| {
+        for tid in 0..threads {
+            let region = p.region(tid);
+            for l in 0..p.lines_per_txn {
+                let a = Addr(region.0 + (l as u64) * 64);
+                assert_eq!(
+                    m.peek(a),
+                    p.txns_per_thread as u64,
+                    "thread {tid} line {l} lost updates"
+                );
+            }
+        }
+    };
+
+    run_workload(spec, setup, make_body, verify)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufotm_core::SystemKind;
+
+    #[test]
+    fn zero_rate_stays_in_hardware() {
+        let mut spec = RunSpec::new(SystemKind::UfoHybrid, 2);
+        spec.seed = 7;
+        let out = run(&spec, &MicroParams { txns_per_thread: 40, ..MicroParams::with_rate(0.0) });
+        assert_eq!(out.hw_commits, 80);
+        assert_eq!(out.sw_commits, 0);
+    }
+
+    #[test]
+    fn full_rate_runs_everything_in_software() {
+        let spec = RunSpec::new(SystemKind::UfoHybrid, 2);
+        let out = run(&spec, &MicroParams { txns_per_thread: 40, ..MicroParams::with_rate(1.0) });
+        assert_eq!(out.sw_commits, 80);
+        assert_eq!(out.hw_commits, 0);
+        assert_eq!(out.forced_failovers, 80);
+    }
+
+    #[test]
+    fn interior_rate_splits_and_slows_down() {
+        let spec0 = RunSpec::new(SystemKind::UfoHybrid, 2);
+        let zero = run(&spec0, &MicroParams { txns_per_thread: 60, ..MicroParams::with_rate(0.0) });
+        let half = run(&spec0, &MicroParams { txns_per_thread: 60, ..MicroParams::with_rate(0.5) });
+        assert!(half.sw_commits > 0 && half.hw_commits > 0);
+        assert!(
+            half.makespan > zero.makespan,
+            "failover must cost simulated time ({} vs {})",
+            half.makespan,
+            zero.makespan
+        );
+    }
+
+    #[test]
+    fn pure_htm_ignores_the_rate() {
+        let spec = RunSpec::new(SystemKind::UnboundedHtm, 2);
+        let out = run(&spec, &MicroParams { txns_per_thread: 40, ..MicroParams::with_rate(0.9) });
+        assert_eq!(out.hw_commits, 80);
+        assert_eq!(out.forced_failovers, 0);
+    }
+
+    #[test]
+    fn phtm_full_rate_is_all_software() {
+        let spec = RunSpec::new(SystemKind::PhTm, 2);
+        let out = run(&spec, &MicroParams { txns_per_thread: 30, ..MicroParams::with_rate(1.0) });
+        assert_eq!(out.sw_commits, 60);
+    }
+}

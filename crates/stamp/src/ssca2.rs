@@ -1,0 +1,157 @@
+//! ssca2-style graph construction (an *extension* workload, not in the
+//! paper's evaluation).
+//!
+//! STAMP's ssca2 kernel 1 builds a directed multigraph: every transaction
+//! prepends one edge to the source node's adjacency list and bumps its
+//! degree — tiny transactions over a wide address space, the
+//! high-throughput/low-contention end of the spectrum. Useful as a sanity
+//! extension: every TM system should scale here, with hybrids committing
+//! ~everything in hardware.
+
+use ufotm_machine::{Addr, Machine, LINE_WORDS};
+
+use crate::harness::{chunk, run_workload, RunOutcome, RunSpec, STATIC_BASE};
+use crate::world::StampWorld;
+
+/// ssca2 parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Ssca2Params {
+    /// Number of graph nodes.
+    pub nodes: usize,
+    /// Total edges inserted (split across threads).
+    pub edges: usize,
+}
+
+impl Ssca2Params {
+    /// The standard scaled-down configuration.
+    #[must_use]
+    pub fn standard() -> Self {
+        Ssca2Params { nodes: 256, edges: 1024 }
+    }
+
+    /// Node record: one line per node — [head, degree, ...].
+    fn node(&self, n: usize) -> Addr {
+        STATIC_BASE.add_words(n as u64 * LINE_WORDS)
+    }
+}
+
+/// Deterministic edge stream.
+fn edge(seed: u64, i: usize, nodes: usize) -> (u64, u64) {
+    let mut x = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    let src = x % nodes as u64;
+    let dst = (x >> 32) % nodes as u64;
+    (src, dst)
+}
+
+/// Runs ssca2 under `spec`.
+///
+/// # Panics
+///
+/// Panics if verification fails: every node's adjacency list must contain
+/// exactly the generated targets for that source (as a multiset), and the
+/// degree fields must sum to the edge count.
+pub fn run(spec: &RunSpec, params: &Ssca2Params) -> RunOutcome {
+    let p = *params;
+    let seed = spec.seed;
+    let threads = spec.threads;
+
+    let setup = move |_m: &mut Machine, _w: &mut StampWorld| {};
+
+    let make_body = move |tid: usize| -> crate::harness::WorkBody {
+        Box::new(move |t, ctx| {
+            let (start, end) = chunk(p.edges, threads, tid);
+            for i in start..end {
+                let (src, dst) = edge(seed, i, p.nodes);
+                let node = p.node(src as usize);
+                t.transaction(ctx, |tx, ctx| {
+                    // Edge cell: [dst, next].
+                    let cell = tx.alloc(ctx, 2)?;
+                    tx.write(ctx, cell, dst)?;
+                    let head = tx.read(ctx, node)?;
+                    tx.write(ctx, cell.add_words(1), head)?;
+                    tx.write(ctx, node, cell.0)?;
+                    let deg = tx.read(ctx, node.add_words(1))?;
+                    tx.write(ctx, node.add_words(1), deg + 1)?;
+                    Ok(())
+                });
+                ctx.work(40).expect("edge prep");
+            }
+        })
+    };
+
+    let verify = move |m: &Machine, _w: &StampWorld| {
+        // Expected multiset of targets per source.
+        let mut expected: Vec<Vec<u64>> = vec![Vec::new(); p.nodes];
+        for i in 0..p.edges {
+            let (src, dst) = edge(seed, i, p.nodes);
+            expected[src as usize].push(dst);
+        }
+        let mut total_degree = 0u64;
+        for n in 0..p.nodes {
+            let node = p.node(n);
+            let mut got = Vec::new();
+            let mut cur = m.peek(node);
+            while cur != 0 {
+                let cell = Addr(cur);
+                got.push(m.peek(cell));
+                cur = m.peek(cell.add_words(1));
+            }
+            let deg = m.peek(node.add_words(1));
+            assert_eq!(deg as usize, got.len(), "node {n}: degree vs list length");
+            total_degree += deg;
+            got.sort_unstable();
+            expected[n].sort_unstable();
+            assert_eq!(got, expected[n], "node {n}: adjacency multiset");
+        }
+        assert_eq!(total_degree, p.edges as u64);
+    };
+
+    run_workload(spec, setup, make_body, verify)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufotm_core::SystemKind;
+
+    fn tiny() -> Ssca2Params {
+        Ssca2Params { nodes: 32, edges: 120 }
+    }
+
+    #[test]
+    fn ssca2_verifies_on_sequential() {
+        let out = run(&RunSpec::new(SystemKind::Sequential, 1), &tiny());
+        assert_eq!(out.total_commits(), 120);
+    }
+
+    #[test]
+    fn ssca2_verifies_on_hybrids_and_stms() {
+        for kind in [SystemKind::UfoHybrid, SystemKind::PhTm, SystemKind::UstmStrong, SystemKind::Tl2] {
+            let out = run(&RunSpec::new(kind, 3), &tiny());
+            assert_eq!(out.total_commits(), 120, "{kind}");
+        }
+    }
+
+    #[test]
+    fn ssca2_hybrid_runs_mostly_in_hardware() {
+        let out = run(&RunSpec::new(SystemKind::UfoHybrid, 4), &tiny());
+        assert!(
+            out.hw_commits > out.sw_commits * 5,
+            "tiny graph txns should overwhelmingly commit in hardware \
+             (hw={}, sw={})",
+            out.hw_commits,
+            out.sw_commits
+        );
+    }
+
+    #[test]
+    fn ssca2_scales_in_simulated_time() {
+        let p = tiny();
+        let seq = run(&RunSpec::new(SystemKind::Sequential, 1), &p);
+        let par = run(&RunSpec::new(SystemKind::UfoHybrid, 4), &p);
+        assert!(par.makespan < seq.makespan, "4T must beat sequential");
+    }
+}

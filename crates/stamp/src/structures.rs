@@ -1,0 +1,440 @@
+//! Transactional data structures over simulated memory.
+//!
+//! Nodes are heap-allocated (line-aligned, one node per cache line) and all
+//! pointer/field accesses go through the [`Tx`] facade, so traversals
+//! generate realistic read sets — a tree lookup reads one line per level,
+//! and a sorted-list insertion reads its whole prefix, exactly the
+//! footprint shapes that drive the paper's vacation and genome results.
+//!
+//! A null pointer is encoded as 0 (the heap never starts at address 0).
+
+use ufotm_core::{Tx, TxAbort};
+use ufotm_machine::Addr;
+use ufotm_sim::Ctx;
+
+use crate::world::StampWorld;
+
+/// Node layout: one 8-word line.
+const F_KEY: u64 = 0;
+const F_LEFT: u64 = 1;
+const F_RIGHT: u64 = 2;
+const F_NEXT: u64 = 1; // list nodes reuse the layout
+/// First of four value words.
+const F_VAL: u64 = 3;
+const NODE_WORDS: u64 = 8;
+
+fn field(node: Addr, f: u64) -> Addr {
+    node.add_words(f)
+}
+
+/// An unbalanced binary search tree keyed by `u64`, with up to four value
+/// words per node. The root pointer lives at a fixed simulated address.
+#[derive(Clone, Copy, Debug)]
+pub struct BstMap {
+    root: Addr,
+}
+
+impl BstMap {
+    /// Creates a handle for a tree whose root pointer cell is at `root`
+    /// (reserve one word; must be zero-initialized).
+    #[must_use]
+    pub fn new(root: Addr) -> Self {
+        BstMap { root }
+    }
+
+    /// The simulated address of the root pointer cell (for host-side
+    /// setup/verification code).
+    #[must_use]
+    pub fn root_cell(&self) -> Addr {
+        self.root
+    }
+
+    /// Transactionally looks up `key`, returning the node address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction aborts.
+    pub fn lookup(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut Ctx<StampWorld>,
+        key: u64,
+    ) -> Result<Option<Addr>, TxAbort> {
+        let mut cur = tx.read(ctx, self.root)?;
+        while cur != 0 {
+            let node = Addr(cur);
+            let k = tx.read(ctx, field(node, F_KEY))?;
+            if k == key {
+                return Ok(Some(node));
+            }
+            let next_field = if key < k { F_LEFT } else { F_RIGHT };
+            cur = tx.read(ctx, field(node, next_field))?;
+        }
+        Ok(None)
+    }
+
+    /// Transactionally inserts `key` with up to four value words. Returns
+    /// `false` (and writes nothing) if the key already exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction aborts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than four value words are supplied.
+    pub fn insert(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut Ctx<StampWorld>,
+        key: u64,
+        values: &[u64],
+    ) -> Result<bool, TxAbort> {
+        assert!(values.len() <= 4, "at most four value words per node");
+        let mut parent_field = self.root;
+        let mut cur = tx.read(ctx, self.root)?;
+        while cur != 0 {
+            let node = Addr(cur);
+            let k = tx.read(ctx, field(node, F_KEY))?;
+            if k == key {
+                return Ok(false);
+            }
+            let next_field = if key < k { F_LEFT } else { F_RIGHT };
+            parent_field = field(node, next_field);
+            cur = tx.read(ctx, parent_field)?;
+        }
+        let node = tx.alloc(ctx, NODE_WORDS)?;
+        tx.write(ctx, field(node, F_KEY), key)?;
+        tx.write(ctx, field(node, F_LEFT), 0)?;
+        tx.write(ctx, field(node, F_RIGHT), 0)?;
+        for (i, v) in values.iter().enumerate() {
+            tx.write(ctx, field(node, F_VAL + i as u64), *v)?;
+        }
+        tx.write(ctx, parent_field, node.0)?;
+        Ok(true)
+    }
+
+    /// Reads value word `i` of `node`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction aborts.
+    pub fn value(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut Ctx<StampWorld>,
+        node: Addr,
+        i: u64,
+    ) -> Result<u64, TxAbort> {
+        tx.read(ctx, field(node, F_VAL + i))
+    }
+
+    /// Writes value word `i` of `node`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction aborts.
+    pub fn set_value(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut Ctx<StampWorld>,
+        node: Addr,
+        i: u64,
+        v: u64,
+    ) -> Result<(), TxAbort> {
+        tx.write(ctx, field(node, F_VAL + i), v)
+    }
+
+    /// Host-side (non-simulating) traversal for verification: calls `f`
+    /// with `(key, [v0..v3])` for every node, in key order.
+    pub fn peek_each(&self, m: &ufotm_machine::Machine, mut f: impl FnMut(u64, [u64; 4])) {
+        fn rec(m: &ufotm_machine::Machine, cur: u64, f: &mut impl FnMut(u64, [u64; 4])) {
+            if cur == 0 {
+                return;
+            }
+            let node = Addr(cur);
+            rec(m, m.peek(field(node, F_LEFT)), f);
+            let key = m.peek(field(node, F_KEY));
+            let vals = [
+                m.peek(field(node, F_VAL)),
+                m.peek(field(node, F_VAL + 1)),
+                m.peek(field(node, F_VAL + 2)),
+                m.peek(field(node, F_VAL + 3)),
+            ];
+            f(key, vals);
+            rec(m, m.peek(field(node, F_RIGHT)), f);
+        }
+        rec(m, m.peek(self.root), &mut f);
+    }
+}
+
+/// A sorted singly-linked list with unique keys. Insertion reads the whole
+/// prefix up to the insertion point — genome's contention pattern.
+#[derive(Clone, Copy, Debug)]
+pub struct SortedList {
+    head: Addr,
+}
+
+impl SortedList {
+    /// Creates a handle for a list whose head pointer cell is at `head`
+    /// (reserve one word; must be zero-initialized).
+    #[must_use]
+    pub fn new(head: Addr) -> Self {
+        SortedList { head }
+    }
+
+    /// Transactionally inserts `key` (with one value word), keeping the
+    /// list sorted. Returns `false` if the key is already present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction aborts.
+    pub fn insert(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut Ctx<StampWorld>,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, TxAbort> {
+        let mut prev_field = self.head;
+        let mut cur = tx.read(ctx, self.head)?;
+        while cur != 0 {
+            let node = Addr(cur);
+            let k = tx.read(ctx, field(node, F_KEY))?;
+            if k == key {
+                return Ok(false);
+            }
+            if k > key {
+                break;
+            }
+            prev_field = field(node, F_NEXT);
+            cur = tx.read(ctx, prev_field)?;
+        }
+        let node = tx.alloc(ctx, NODE_WORDS)?;
+        tx.write(ctx, field(node, F_KEY), key)?;
+        tx.write(ctx, field(node, F_NEXT), cur)?;
+        tx.write(ctx, field(node, F_VAL), value)?;
+        tx.write(ctx, prev_field, node.0)?;
+        Ok(true)
+    }
+
+    /// Host-side traversal for verification: yields keys in list order.
+    #[must_use]
+    pub fn peek_keys(&self, m: &ufotm_machine::Machine) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = m.peek(self.head);
+        while cur != 0 {
+            let node = Addr(cur);
+            out.push(m.peek(field(node, F_KEY)));
+            cur = m.peek(field(node, F_NEXT));
+        }
+        out
+    }
+}
+
+/// A fixed-bucket chained hash set of `u64` keys. The bucket array lives in
+/// a static simulated region; chain nodes come from the heap.
+#[derive(Clone, Copy, Debug)]
+pub struct HashSet {
+    buckets: Addr,
+    bucket_count: u64,
+}
+
+impl HashSet {
+    /// Creates a handle for a set whose bucket array (one word per bucket,
+    /// zero-initialized) starts at `buckets`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_count` is not a power of two.
+    #[must_use]
+    pub fn new(buckets: Addr, bucket_count: u64) -> Self {
+        assert!(bucket_count.is_power_of_two());
+        HashSet { buckets, bucket_count }
+    }
+
+    fn bucket_of(&self, key: u64) -> Addr {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40;
+        self.buckets.add_words(h & (self.bucket_count - 1))
+    }
+
+    /// Transactionally tests membership.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction aborts.
+    pub fn contains(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut Ctx<StampWorld>,
+        key: u64,
+    ) -> Result<bool, TxAbort> {
+        let bucket = self.bucket_of(key);
+        let mut cur = tx.read(ctx, bucket)?;
+        while cur != 0 {
+            let node = Addr(cur);
+            if tx.read(ctx, field(node, F_KEY))? == key {
+                return Ok(true);
+            }
+            cur = tx.read(ctx, field(node, F_NEXT))?;
+        }
+        Ok(false)
+    }
+
+    /// Transactionally inserts `key`; returns `false` if already present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction aborts.
+    pub fn insert(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut Ctx<StampWorld>,
+        key: u64,
+    ) -> Result<bool, TxAbort> {
+        let bucket = self.bucket_of(key);
+        let mut cur = tx.read(ctx, bucket)?;
+        let head = cur;
+        while cur != 0 {
+            let node = Addr(cur);
+            if tx.read(ctx, field(node, F_KEY))? == key {
+                return Ok(false);
+            }
+            cur = tx.read(ctx, field(node, F_NEXT))?;
+        }
+        let node = tx.alloc(ctx, NODE_WORDS)?;
+        tx.write(ctx, field(node, F_KEY), key)?;
+        tx.write(ctx, field(node, F_NEXT), head)?;
+        tx.write(ctx, bucket, node.0)?;
+        Ok(true)
+    }
+
+    /// Host-side scan for verification: all keys, unordered.
+    #[must_use]
+    pub fn peek_all(&self, m: &ufotm_machine::Machine) -> Vec<u64> {
+        let mut out = Vec::new();
+        for b in 0..self.bucket_count {
+            let mut cur = m.peek(self.buckets.add_words(b));
+            while cur != 0 {
+                let node = Addr(cur);
+                out.push(m.peek(field(node, F_KEY)));
+                cur = m.peek(field(node, F_NEXT));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufotm_core::{SystemKind, TmShared, TmThread};
+    use ufotm_machine::{Machine, MachineConfig};
+    use ufotm_sim::{Sim, SimResult, ThreadFn};
+
+    use crate::world::{Barrier, StampWorld};
+
+    /// Runs a single-threaded body with a fresh world and returns it.
+    fn run_one(
+        kind: SystemKind,
+        body: impl FnOnce(&mut TmThread, &mut ufotm_sim::Ctx<StampWorld>) + Send + 'static,
+    ) -> SimResult<StampWorld> {
+        let cfg = MachineConfig::table4(1);
+        let tm = TmShared::standard(kind, &cfg);
+        let machine = Machine::new(cfg);
+        let world = StampWorld { tm, barrier: Barrier::new(Addr(64), 1) };
+        Sim::new(machine, world).run(vec![Box::new(
+            move |ctx: &mut ufotm_sim::Ctx<StampWorld>| {
+                let mut t = TmThread::new(kind, 0);
+                t.install(ctx);
+                body(&mut t, ctx);
+            },
+        ) as ThreadFn<StampWorld>])
+    }
+
+    #[test]
+    fn bst_insert_lookup_and_order() {
+        let r = run_one(SystemKind::Sequential, |t, ctx| {
+            let map = BstMap::new(Addr(4096));
+            for key in [50u64, 20, 80, 10, 30, 70, 90] {
+                let fresh =
+                    t.transaction(ctx, |tx, ctx| map.insert(tx, ctx, key, &[key * 2, 0, 0, 0]));
+                assert!(fresh);
+            }
+            let dup = t.transaction(ctx, |tx, ctx| map.insert(tx, ctx, 30, &[1, 0, 0, 0]));
+            assert!(!dup, "duplicate insert must be rejected");
+            t.transaction(ctx, |tx, ctx| {
+                let node = map.lookup(tx, ctx, 70)?.expect("70 present");
+                assert_eq!(map.value(tx, ctx, node, 0)?, 140);
+                map.set_value(tx, ctx, node, 0, 7)?;
+                assert!(map.lookup(tx, ctx, 99)?.is_none());
+                Ok(())
+            });
+        });
+        let map = BstMap::new(Addr(4096));
+        let mut seen = Vec::new();
+        map.peek_each(&r.machine, |k, vals| seen.push((k, vals[0])));
+        assert_eq!(
+            seen,
+            vec![(10, 20), (20, 40), (30, 60), (50, 100), (70, 7), (80, 160), (90, 180)],
+            "in-order traversal with updated value"
+        );
+    }
+
+    #[test]
+    fn bst_works_transactionally_on_the_hybrid() {
+        let r = run_one(SystemKind::UfoHybrid, |t, ctx| {
+            let map = BstMap::new(Addr(4096));
+            for key in 0..20u64 {
+                // Mixed order insertion via bit-reversal.
+                let k = (key.reverse_bits() >> 59) ^ key;
+                t.transaction(ctx, |tx, ctx| map.insert(tx, ctx, k, &[k, 0, 0, 0]));
+            }
+        });
+        let map = BstMap::new(Addr(4096));
+        let mut keys = Vec::new();
+        map.peek_each(&r.machine, |k, _| keys.push(k));
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sorted_list_stays_sorted_and_unique() {
+        let r = run_one(SystemKind::Sequential, |t, ctx| {
+            let list = SortedList::new(Addr(4096));
+            for key in [5u64, 3, 9, 1, 7, 3, 9] {
+                t.transaction(ctx, |tx, ctx| list.insert(tx, ctx, key, key + 100));
+            }
+        });
+        let list = SortedList::new(Addr(4096));
+        assert_eq!(list.peek_keys(&r.machine), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn hash_set_deduplicates_across_buckets() {
+        let r = run_one(SystemKind::UstmStrong, |t, ctx| {
+            let set = HashSet::new(Addr(4096), 8);
+            let mut fresh_count = 0;
+            for key in [1u64, 2, 3, 1, 2, 3, 4, 100, 1000, 100] {
+                if t.transaction(ctx, |tx, ctx| set.insert(tx, ctx, key)) {
+                    fresh_count += 1;
+                }
+            }
+            assert_eq!(fresh_count, 6);
+        });
+        let set = HashSet::new(Addr(4096), 8);
+        let mut all = set.peek_all(&r.machine);
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3, 4, 100, 1000]);
+    }
+
+    #[test]
+    fn structures_allocate_one_line_per_node() {
+        let r = run_one(SystemKind::Sequential, |t, ctx| {
+            let list = SortedList::new(Addr(4096));
+            for key in 1..=4u64 {
+                t.transaction(ctx, |tx, ctx| list.insert(tx, ctx, key, 0));
+            }
+        });
+        assert_eq!(r.shared.tm.heap.live_allocations(), 4);
+    }
+}

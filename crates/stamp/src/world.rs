@@ -1,0 +1,119 @@
+//! The workload world type: the combined TM state plus a phase barrier.
+
+use ufotm_core::{HasTm, TmShared};
+use ufotm_machine::Addr;
+use ufotm_sim::Ctx;
+use ufotm_tl2::{HasTl2, Tl2Shared};
+use ufotm_ustm::{HasUstm, UstmShared};
+
+/// The shared world for STAMP runs: TM state plus a sense-reversing barrier
+/// used between workload phases (e.g. kmeans iterations).
+#[derive(Debug)]
+pub struct StampWorld {
+    /// The combined TM shared state.
+    pub tm: TmShared,
+    /// The phase barrier.
+    pub barrier: Barrier,
+}
+
+impl HasTm for StampWorld {
+    fn tm(&mut self) -> &mut TmShared {
+        &mut self.tm
+    }
+}
+
+impl HasUstm for StampWorld {
+    fn ustm(&mut self) -> &mut UstmShared {
+        &mut self.tm.ustm
+    }
+}
+
+impl HasTl2 for StampWorld {
+    fn tl2(&mut self) -> &mut Tl2Shared {
+        &mut self.tm.tl2
+    }
+}
+
+/// A sense-reversing spin barrier whose arrival counter lives at a
+/// simulated address (so barrier polling costs cycles and coherence
+/// traffic, like the pthread barriers in the paper's benchmarks).
+#[derive(Clone, Copy, Debug)]
+pub struct Barrier {
+    addr: Addr,
+    parties: usize,
+    arrived: usize,
+    sense: bool,
+}
+
+impl Barrier {
+    /// Creates a barrier for `parties` threads with its counter at `addr`
+    /// (reserve one line).
+    #[must_use]
+    pub fn new(addr: Addr, parties: usize) -> Self {
+        Barrier { addr, parties, arrived: 0, sense: false }
+    }
+
+    /// Number of participating threads.
+    #[must_use]
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Blocks (in simulated time) until all parties arrive.
+    pub fn wait(ctx: &mut Ctx<StampWorld>) {
+        let cpu = ctx.cpu();
+        let my_sense = ctx.with(|w| {
+            let b = &mut w.shared.barrier;
+            let my = !b.sense;
+            b.arrived += 1;
+            let (addr, arrived, parties) = (b.addr, b.arrived, b.parties);
+            if arrived == parties {
+                b.arrived = 0;
+                b.sense = my;
+            }
+            w.machine.store(cpu, addr, arrived as u64).expect("barrier store");
+            my
+        });
+        loop {
+            let released = ctx.with(|w| {
+                let (addr, sense) = (w.shared.barrier.addr, w.shared.barrier.sense);
+                w.machine.load(cpu, addr).expect("barrier load");
+                sense == my_sense
+            });
+            if released {
+                return;
+            }
+            ctx.stall(60).expect("barrier spin");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufotm_core::SystemKind;
+    use ufotm_machine::{Machine, MachineConfig};
+    use ufotm_sim::{Sim, ThreadFn};
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        let cfg = MachineConfig::table4(4);
+        let tm = TmShared::standard(SystemKind::Sequential, &cfg);
+        let world = StampWorld { tm, barrier: Barrier::new(Addr(1024), 4) };
+        let machine = Machine::new(cfg);
+        let bodies: Vec<ThreadFn<StampWorld>> = (0..4)
+            .map(|i| -> ThreadFn<StampWorld> {
+                Box::new(move |ctx| {
+                    // Stagger arrivals; everyone must leave together.
+                    ctx.work(100 * (i as u64 + 1)).unwrap();
+                    Barrier::wait(ctx);
+                    let t = ctx.now();
+                    assert!(t >= 400, "thread {i} left the barrier early at {t}");
+                    Barrier::wait(ctx);
+                })
+            })
+            .collect();
+        let r = Sim::new(machine, world).run(bodies);
+        assert!(r.makespan >= 400);
+    }
+}

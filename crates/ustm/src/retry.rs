@@ -1,0 +1,184 @@
+//! Transactional waiting: the `retry` primitive (paper §6).
+//!
+//! A transaction that discovers (from transactionally-read data) that it
+//! cannot make progress issues `retry`: its speculative writes are undone,
+//! all its ownership converts to *read*, and it parks in the `Retrying`
+//! state. When a later transaction's write barrier (or a non-transactional
+//! store's fault handler) touches a line the sleeper had read, the sleeper
+//! is woken, releases its remaining ownership, and restarts as if after an
+//! abort — eliminating lost-wakeup bugs without any busy polling of the
+//! condition itself.
+
+use ufotm_machine::UfoBits;
+use ufotm_sim::Ctx;
+
+use crate::barrier::{mop, UstmTxn};
+use crate::otable::Perm;
+use crate::txn::TxnStatus;
+use crate::{HasUstm, UstmAbort};
+
+/// Parks the transaction until a writer updates something it read, then
+/// rolls it back and returns [`UstmAbort::RetryWoken`] so a surrounding
+/// [`UstmTxn::run`] loop reissues it.
+///
+/// A `retry` with an empty read set can never be woken by a data write; it
+/// is woken immediately (a spurious wakeup, which `retry` semantics permit)
+/// rather than deadlocking.
+pub fn retry_wait<U: HasUstm>(txn: &mut UstmTxn, ctx: &mut Ctx<U>) -> UstmAbort {
+    let cpu = txn.cpu();
+    // Phase 1: undo speculative writes, demote ownership to read, park.
+    let owned: Vec<_> = txn.owned_lines().collect();
+    let undo = txn.take_undo();
+    for (line, words) in undo.into_iter().rev() {
+        ctx.with(|w| {
+            let m = &mut w.machine;
+            for (i, word) in words.iter().enumerate() {
+                mop(m.store(cpu, line.base_addr().add_words(i as u64), *word));
+            }
+        });
+    }
+    ctx.with(|w| {
+        let m = &mut w.machine;
+        let u = w.shared.ustm();
+        let strong = u.config.strong_atomicity;
+        for &(line, perm) in &owned {
+            if perm == Perm::Write {
+                u.otable.demote(line, cpu);
+                if strong {
+                    mop(m.set_ufo_bits(cpu, line.base_addr(), UfoBits::FAULT_ON_WRITE));
+                }
+            }
+        }
+        u.slots[cpu].status = TxnStatus::Retrying;
+        u.slots[cpu].woken = owned.is_empty(); // spurious wake, never deadlock
+        let slot_addr = u.slot_addr(cpu);
+        mop(m.store(cpu, slot_addr, 3));
+        u.stats.retries_entered += 1;
+    });
+
+    // Phase 2: sleep until a writer wakes us.
+    loop {
+        let woken = ctx.with(|w| {
+            let m = &mut w.machine;
+            let u = w.shared.ustm();
+            let slot_addr = u.slot_addr(cpu);
+            mop(m.load(cpu, slot_addr));
+            u.slots[cpu].woken
+        });
+        if woken {
+            break;
+        }
+        let backoff = ctx.with(|w| w.shared.ustm().config.poll_backoff * 4);
+        mop(ctx.stall(backoff));
+    }
+
+    // Phase 3: release remaining ownership and retire; the caller restarts.
+    txn.finish_retry(ctx);
+    ctx.with(|w| {
+        let u = w.shared.ustm();
+        u.stats.retries_woken += 1;
+    });
+    UstmAbort::RetryWoken
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufotm_machine::{Addr, Machine, MachineConfig};
+    use ufotm_sim::{Sim, ThreadFn};
+
+    use crate::txn::{UstmConfig, UstmShared};
+
+    const FLAG: Addr = Addr(0);
+    const DATA: Addr = Addr(1024);
+
+    fn world(cpus: usize) -> (Machine, UstmShared) {
+        let machine = Machine::new(MachineConfig::table4(cpus));
+        let shared = UstmShared::new(UstmConfig::default(), Addr(1 << 20), cpus, 1024);
+        (machine, shared)
+    }
+
+    /// Consumer retries until the producer sets the flag — no lost wakeup.
+    #[test]
+    fn producer_wakes_retrying_consumer() {
+        let (machine, shared) = world(2);
+        let r = Sim::new(machine, shared).run(vec![
+            Box::new(|ctx: &mut Ctx<UstmShared>| {
+                // Consumer: wait for FLAG != 0, then consume DATA.
+                let mut txn = UstmTxn::new(0);
+                let got = txn.run(ctx, |t, ctx| {
+                    let flag = t.read(ctx, FLAG)?;
+                    if flag == 0 {
+                        return Err(retry_wait(t, ctx));
+                    }
+                    t.read(ctx, DATA)
+                });
+                assert_eq!(got, 42);
+            }) as ThreadFn<UstmShared>,
+            Box::new(|ctx: &mut Ctx<UstmShared>| {
+                mop(ctx.work(20_000)); // let the consumer park first
+                let mut txn = UstmTxn::new(1);
+                txn.run(ctx, |t, ctx| {
+                    t.write(ctx, DATA, 42)?;
+                    t.write(ctx, FLAG, 1)
+                });
+            }) as ThreadFn<UstmShared>,
+        ]);
+        assert_eq!(r.shared.stats.retries_entered, 1);
+        assert_eq!(r.shared.stats.retries_woken, 1);
+        assert_eq!(r.shared.stats.commits, 2);
+        assert_eq!(r.shared.otable.live_entries(), 0);
+    }
+
+    /// `retry` undoes the transaction's own speculative writes before
+    /// parking.
+    #[test]
+    fn retry_undoes_writes_before_parking() {
+        let (machine, shared) = world(2);
+        let r = Sim::new(machine, shared).run(vec![
+            Box::new(|ctx: &mut Ctx<UstmShared>| {
+                let mut txn = UstmTxn::new(0);
+                let mut first_attempt = true;
+                txn.run(ctx, |t, ctx| {
+                    let flag = t.read(ctx, FLAG)?;
+                    if first_attempt {
+                        first_attempt = false;
+                        t.write(ctx, DATA, 777)?; // speculative, must undo
+                        assert_eq!(flag, 0);
+                        return Err(retry_wait(t, ctx));
+                    }
+                    Ok(())
+                });
+            }) as ThreadFn<UstmShared>,
+            Box::new(|ctx: &mut Ctx<UstmShared>| {
+                mop(ctx.work(20_000));
+                // Observe DATA before waking the sleeper: the speculative
+                // 777 must not be visible.
+                assert_eq!(crate::nont::nont_load(ctx, DATA), 0);
+                let mut txn = UstmTxn::new(1);
+                txn.run(ctx, |t, ctx| t.write(ctx, FLAG, 1));
+            }) as ThreadFn<UstmShared>,
+        ]);
+        assert_eq!(r.machine.peek(DATA), 0);
+        assert_eq!(r.shared.stats.retries_woken, 1);
+    }
+
+    /// Empty read set: spurious wake instead of deadlock.
+    #[test]
+    fn empty_read_set_wakes_spuriously() {
+        let (machine, shared) = world(1);
+        let r = Sim::new(machine, shared).run(vec![Box::new(|ctx: &mut Ctx<UstmShared>| {
+            let mut txn = UstmTxn::new(0);
+            let mut attempts = 0;
+            txn.run(ctx, |t, ctx| {
+                attempts += 1;
+                if attempts == 1 {
+                    return Err(retry_wait(t, ctx));
+                }
+                Ok(())
+            });
+            assert_eq!(attempts, 2);
+        }) as ThreadFn<UstmShared>]);
+        assert_eq!(r.shared.stats.retries_entered, 1);
+    }
+}

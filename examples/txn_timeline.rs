@@ -1,0 +1,60 @@
+//! Watch the hybrid make decisions: a traced run showing hardware commits,
+//! an overflow abort, the failover to USTM, and contention retries.
+//!
+//! ```sh
+//! cargo run --example txn_timeline
+//! ```
+
+use ufotm::prelude::*;
+
+fn main() {
+    let mut cfg = MachineConfig::table4(2);
+    // A small L1 so one transaction visibly overflows.
+    cfg.l1 = ufotm::machine::CacheGeometry::new(8, 2);
+    let mut shared = TmShared::standard(SystemKind::UfoHybrid, &cfg);
+    shared.trace.enable(256);
+    let machine = Machine::new(cfg);
+
+    let result = Sim::new(machine, shared).run(vec![
+        Box::new(|ctx: &mut Ctx<TmShared>| {
+            let mut t = TmThread::new(SystemKind::UfoHybrid, 0);
+            t.install(ctx);
+            // Two small transactions (hardware), then a big one (failover).
+            for i in 0..2u64 {
+                t.transaction(ctx, |tx, ctx| {
+                    let v = tx.read(ctx, Addr(i * 64))?;
+                    tx.write(ctx, Addr(i * 64), v + 1)
+                });
+            }
+            t.transaction(ctx, |tx, ctx| {
+                for i in 0..24u64 {
+                    tx.write(ctx, Addr(8192 + i * 64), i)?;
+                }
+                Ok(())
+            });
+        }) as ThreadFn<TmShared>,
+        Box::new(|ctx: &mut Ctx<TmShared>| {
+            let mut t = TmThread::new(SystemKind::UfoHybrid, 1);
+            t.install(ctx);
+            // Contend with the big transaction's lines.
+            for k in 0..6u64 {
+                t.transaction(ctx, |tx, ctx| {
+                    let a = Addr(8192 + (k % 3) * 64);
+                    let v = tx.read(ctx, a)?;
+                    tx.work(ctx, 400)?;
+                    tx.write(ctx, a, v + 100)
+                });
+            }
+        }) as ThreadFn<TmShared>,
+    ]);
+
+    println!("transaction timeline (simulated cycles):\n");
+    print!("{}", result.shared.trace.render());
+    println!();
+    println!(
+        "hw commits: {}   sw commits: {}   failovers: {}",
+        result.shared.stats.hw_commits,
+        result.shared.stats.sw_commits,
+        result.shared.stats.total_failovers()
+    );
+}

@@ -1,0 +1,107 @@
+//! The paper's Figure 2 litmus tests: the non-intuitive behaviours of
+//! weakly-atomic TMs, and how UFO strong atomicity removes them.
+
+use ufotm::prelude::*;
+use ufotm::ustm::{nont_store, UstmConfig, UstmShared, UstmTxn};
+
+/// Figure 2b: a plain store to a word adjacent to transactional data in the
+/// same line. A weak, eager, line-granularity STM loses it on abort; the
+/// strong STM makes the plain store wait.
+fn figure_2b(config: UstmConfig) -> u64 {
+    let machine = Machine::new(MachineConfig::table4(2));
+    let shared = UstmShared::new(config, Addr(1 << 20), 2, 1024);
+    let word_a = Addr(0);
+    let word_b = Addr(8); // same 64-byte line
+
+    let r = Sim::new(machine, shared).run(vec![
+        Box::new(move |ctx: &mut Ctx<UstmShared>| {
+            let mut txn = UstmTxn::new(0);
+            txn.begin(ctx);
+            txn.write(ctx, word_a, 7).unwrap();
+            ctx.work(5_000).unwrap();
+            let _ = txn.abort_explicit(ctx);
+        }) as ThreadFn<UstmShared>,
+        Box::new(move |ctx: &mut Ctx<UstmShared>| {
+            ctx.set_ufo_enabled(true);
+            ctx.work(1_000).unwrap();
+            nont_store(ctx, word_b, 99);
+        }) as ThreadFn<UstmShared>,
+    ]);
+    r.machine.peek(word_b)
+}
+
+#[test]
+fn figure_2b_weak_stm_loses_the_plain_store() {
+    // This is the bug the paper motivates with: the abort's line-granular
+    // undo clobbers the adjacent plain store.
+    assert_eq!(figure_2b(UstmConfig::weak()), 0, "expected the lost-update bug");
+}
+
+#[test]
+fn figure_2b_strong_stm_preserves_the_plain_store() {
+    assert_eq!(figure_2b(UstmConfig::default()), 99);
+}
+
+/// Figure 2a: privatization. An older transaction detaches an object and
+/// then accesses it non-transactionally while a younger, doomed transaction
+/// that had written the object unwinds.
+///
+/// The paper's footnote 2 notes that privatization is safe when commit
+/// stalls "until all conflicting transactions complete the abort process" —
+/// which is exactly what USTM's blocking, age-ordered contention manager
+/// does (the killer waits for the victim's complete rollback, and rollback
+/// restores all pre-images before releasing any ownership). So USTM is
+/// privatization-safe in *both* atomicity modes, and this litmus asserts
+/// that; the Figure 2b granularity bug above is where weak atomicity
+/// genuinely differs.
+fn figure_2a(config: UstmConfig) -> u64 {
+    let ptr = Addr(0);
+    let obj = Addr(4096);
+    let mut machine = Machine::new(MachineConfig::table4(2));
+    machine.poke(ptr, obj.0); // ptr -> obj
+    let shared = UstmShared::new(config, Addr(1 << 20), 2, 1024);
+    let r = Sim::new(machine, shared).run(vec![
+        Box::new(move |ctx: &mut Ctx<UstmShared>| {
+            let mut txn = UstmTxn::new(0);
+            txn.begin(ctx); // older: began first
+            ctx.work(2_000).unwrap(); // let thread 1 grab the object
+            txn.write(ctx, ptr, 0).unwrap(); // kills the younger reader
+            txn.commit(ctx).unwrap();
+            // Private access, outside any transaction.
+            nont_store(ctx, obj, 42);
+        }) as ThreadFn<UstmShared>,
+        Box::new(move |ctx: &mut Ctx<UstmShared>| {
+            ctx.work(200).unwrap();
+            let mut txn = UstmTxn::new(1); // younger
+            txn.begin(ctx);
+            let Ok(p) = txn.read(ctx, ptr) else { return };
+            if p == 0 {
+                let _ = txn.commit(ctx);
+                return;
+            }
+            if txn.write(ctx, Addr(p), 1).is_err() {
+                return; // killed at the barrier: nothing logged yet
+            }
+            // Linger so the kill lands while we hold the object; we notice
+            // at the next barrier and unwind.
+            ctx.work(20_000).unwrap();
+            if txn.read(ctx, ptr).is_ok() {
+                let _ = txn.commit(ctx);
+            }
+        }) as ThreadFn<UstmShared>,
+    ]);
+    r.machine.peek(obj)
+}
+
+#[test]
+fn figure_2a_weak_ustm_is_privatization_safe_by_blocking_cm() {
+    // The paper's footnote-2 mitigation is structural in USTM: the
+    // privatizer cannot commit until the victim's rollback has fully
+    // completed, so the private store always lands last.
+    assert_eq!(figure_2a(UstmConfig::weak()), 42);
+}
+
+#[test]
+fn figure_2a_strong_ustm_is_privatization_safe() {
+    assert_eq!(figure_2a(UstmConfig::default()), 42);
+}

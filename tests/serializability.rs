@@ -1,0 +1,169 @@
+//! Property-based serializability tests: randomized transactional
+//! workloads must preserve a cross-line invariant and lose no updates, on
+//! every TM system.
+
+use proptest::prelude::*;
+
+use ufotm::prelude::*;
+
+/// Runs `threads × txns` transactions, each of which asserts that all
+/// `pool` words are equal (they move in lockstep) and then increments every
+/// one of them. Any isolation or atomicity failure breaks either the
+/// in-transaction assertion or the final count.
+fn run_invariant_workload(
+    kind: SystemKind,
+    threads: usize,
+    txns: u64,
+    pool: usize,
+    work: u64,
+    seed: u64,
+) {
+    let mut cfg = MachineConfig::table4(threads);
+    if kind.needs_unbounded_btm() {
+        cfg.btm_unbounded = true;
+    }
+    let shared = TmShared::standard(kind, &cfg);
+    let machine = Machine::new(cfg);
+    // Pool words on distinct lines (and distinct L1 sets, mostly).
+    let addr_of = move |i: usize| Addr(4096 + (i as u64) * 192);
+    let r = Sim::new(machine, shared).run(
+        (0..threads)
+            .map(|cpu| -> ThreadFn<TmShared> {
+                Box::new(move |ctx| {
+                    let mut t = TmThread::new(kind, cpu);
+                    t.install(ctx);
+                    for k in 0..txns {
+                        t.transaction(ctx, |tx, ctx| {
+                            let first = tx.read(ctx, addr_of(0))?;
+                            for i in 1..pool {
+                                let v = tx.read(ctx, addr_of(i))?;
+                                assert_eq!(v, first, "{kind}: torn read of pool word {i}");
+                            }
+                            tx.work(ctx, work + (seed ^ k) % 17)?;
+                            for i in 0..pool {
+                                tx.write(ctx, addr_of(i), first + 1)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect(),
+    );
+    let expected = threads as u64 * txns;
+    for i in 0..pool {
+        assert_eq!(
+            r.machine.peek(addr_of(i)),
+            expected,
+            "{kind}: pool word {i} lost updates"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+
+    #[test]
+    fn ufo_hybrid_serializable(
+        threads in 1usize..=4,
+        txns in 1u64..=12,
+        pool in 1usize..=6,
+        work in 0u64..=200,
+        seed in any::<u64>(),
+    ) {
+        run_invariant_workload(SystemKind::UfoHybrid, threads, txns, pool, work, seed);
+    }
+
+    #[test]
+    fn ustm_strong_serializable(
+        threads in 1usize..=4,
+        txns in 1u64..=10,
+        pool in 1usize..=6,
+        work in 0u64..=200,
+        seed in any::<u64>(),
+    ) {
+        run_invariant_workload(SystemKind::UstmStrong, threads, txns, pool, work, seed);
+    }
+
+    #[test]
+    fn tl2_serializable(
+        threads in 1usize..=4,
+        txns in 1u64..=10,
+        pool in 1usize..=6,
+        work in 0u64..=200,
+        seed in any::<u64>(),
+    ) {
+        run_invariant_workload(SystemKind::Tl2, threads, txns, pool, work, seed);
+    }
+
+    #[test]
+    fn hytm_serializable(
+        threads in 1usize..=4,
+        txns in 1u64..=10,
+        pool in 1usize..=5,
+        work in 0u64..=150,
+        seed in any::<u64>(),
+    ) {
+        run_invariant_workload(SystemKind::HyTm, threads, txns, pool, work, seed);
+    }
+
+    #[test]
+    fn phtm_serializable(
+        threads in 1usize..=4,
+        txns in 1u64..=10,
+        pool in 1usize..=5,
+        work in 0u64..=150,
+        seed in any::<u64>(),
+    ) {
+        run_invariant_workload(SystemKind::PhTm, threads, txns, pool, work, seed);
+    }
+
+    #[test]
+    fn unbounded_htm_serializable(
+        threads in 1usize..=4,
+        txns in 1u64..=10,
+        pool in 1usize..=8,
+        work in 0u64..=150,
+        seed in any::<u64>(),
+    ) {
+        run_invariant_workload(SystemKind::UnboundedHtm, threads, txns, pool, work, seed);
+    }
+}
+
+#[test]
+fn large_pool_overflows_and_still_serializes_on_hybrid() {
+    // A pool wider than the small-L1 capacity forces failovers mid-stream.
+    let mut cfg = MachineConfig::table4(3);
+    cfg.l1 = ufotm::machine::CacheGeometry::new(4, 2);
+    let shared = TmShared::standard(SystemKind::UfoHybrid, &cfg);
+    let machine = Machine::new(cfg);
+    let addr_of = |i: usize| Addr(4096 + (i as u64) * 64);
+    let pool = 24usize;
+    let r = Sim::new(machine, shared).run(
+        (0..3)
+            .map(|cpu| -> ThreadFn<TmShared> {
+                Box::new(move |ctx| {
+                    let mut t = TmThread::new(SystemKind::UfoHybrid, cpu);
+                    t.install(ctx);
+                    for _ in 0..6 {
+                        t.transaction(ctx, |tx, ctx| {
+                            let first = tx.read(ctx, addr_of(0))?;
+                            for i in 1..pool {
+                                let v = tx.read(ctx, addr_of(i))?;
+                                assert_eq!(v, first);
+                            }
+                            for i in 0..pool {
+                                tx.write(ctx, addr_of(i), first + 1)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect(),
+    );
+    for i in 0..pool {
+        assert_eq!(r.machine.peek(addr_of(i)), 18);
+    }
+    assert!(r.shared.stats.sw_commits > 0, "overflow must have failed over");
+}
