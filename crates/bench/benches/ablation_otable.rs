@@ -14,7 +14,12 @@ use ufotm_machine::AbortReason;
 use ufotm_stamp::harness::RunSpec;
 use ufotm_stamp::vacation::{self, VacationParams};
 
-fn run_with_bins(kind: SystemKind, threads: usize, params: &VacationParams, bins: u64) -> ufotm_stamp::RunOutcome {
+fn run_with_bins(
+    kind: SystemKind,
+    threads: usize,
+    params: &VacationParams,
+    bins: u64,
+) -> ufotm_stamp::RunOutcome {
     let mut spec = RunSpec::new(kind, threads);
     // Shrink the otable by rebuilding the layout: the harness consumes the
     // machine config, so we pass the knob through a custom layout check.

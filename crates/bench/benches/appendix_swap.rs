@@ -23,8 +23,6 @@ fn run_with_pages(pages: Option<usize>) -> (RunOutcome, ufotm_machine::SwapStats
     let mut spec = RunSpec::new(SystemKind::UstmStrong, 2);
     // The workload below installs protection over the accumulator lines and
     // streams through the point pages.
-    let spec_clone = spec.clone();
-    drop(spec_clone);
     if let Some(p) = pages {
         // Paging is enabled after machine construction via the workload
         // harness's machine config — easiest is to enable globally here.
@@ -57,7 +55,9 @@ fn main() {
     let mut cfg = MachineConfig::table4(1);
     cfg.memory_words = 1 << 18; // 512 pages
     let mut m = Machine::new(cfg);
-    m.enable_swap(SwapConfig { max_resident_pages: 8 });
+    m.enable_swap(SwapConfig {
+        max_resident_pages: 8,
+    });
 
     let pages = 64u64;
     // Protect one line in every fourth page.
@@ -75,7 +75,10 @@ fn main() {
     }
     let cycles = m.now(0) - before;
     let s = m.swap_stats();
-    println!("streamed {} pages x2 with 8 resident: {} cycles", pages, cycles);
+    println!(
+        "streamed {} pages x2 with 8 resident: {} cycles",
+        pages, cycles
+    );
     println!(
         "page-ins={} page-outs={} ufo-saves={} ufo-restores={} all-clear-fast-path={}",
         s.page_ins, s.page_outs, s.ufo_pages_saved, s.ufo_pages_restored, s.all_clear_fast_path
@@ -88,7 +91,10 @@ fn main() {
             survived += 1;
         }
     }
-    println!("protected lines still faulting after thrash: {survived}/{}", pages.div_ceil(4));
+    println!(
+        "protected lines still faulting after thrash: {survived}/{}",
+        pages.div_ceil(4)
+    );
     assert_eq!(survived, pages.div_ceil(4));
 
     // Overhead comparison: the same stream with no protection anywhere
@@ -96,7 +102,9 @@ fn main() {
     let mut cfg2 = MachineConfig::table4(1);
     cfg2.memory_words = 1 << 18;
     let mut m2 = Machine::new(cfg2);
-    m2.enable_swap(SwapConfig { max_resident_pages: 8 });
+    m2.enable_swap(SwapConfig {
+        max_resident_pages: 8,
+    });
     let before2 = m2.now(0);
     for _ in 0..2 {
         for p in 0..pages {
@@ -106,7 +114,10 @@ fn main() {
     let cycles2 = m2.now(0) - before2;
     let s2 = m2.swap_stats();
     println!();
-    println!("same stream, no UFO bits: {} cycles (fast-path evictions={})", cycles2, s2.all_clear_fast_path);
+    println!(
+        "same stream, no UFO bits: {} cycles (fast-path evictions={})",
+        cycles2, s2.all_clear_fast_path
+    );
     let overhead = cycles as f64 / cycles2 as f64 - 1.0;
     println!("UFO-bit save/restore overhead under thrashing: {:.2}% (paper: ~8% worst case, negligible normally)", overhead * 100.0);
 

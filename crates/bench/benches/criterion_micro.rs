@@ -1,90 +1,107 @@
-//! Wall-time microbenchmarks of the substrate itself (criterion): otable
-//! operations, the allocator, the cache model, and end-to-end simulator
-//! throughput. These measure the *host* cost of the simulation, not
-//! simulated cycles.
+//! Wall-time microbenchmarks of the substrate itself: otable operations,
+//! the allocator, the cache model, and end-to-end simulator throughput.
+//! These measure the *host* cost of the simulation, not simulated cycles.
+//!
+//! Dependency-free harness: each benchmark body is timed over a fixed
+//! iteration count (shrunk under `UFOTM_BENCH_QUICK=1`) and reported as
+//! ns/iter. Numbers are indicative, not statistically rigorous.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 
+use ufotm_bench::{header, quick};
 use ufotm_core::{SystemKind, TmShared, TmThread};
 use ufotm_machine::{Addr, LineAddr, Machine, MachineConfig, SimAlloc};
 use ufotm_sim::{Ctx, Sim, ThreadFn};
 use ufotm_ustm::{Otable, Perm};
 
-fn bench_otable(c: &mut Criterion) {
-    c.bench_function("otable_insert_lookup_release", |b| {
-        let mut t = Otable::new(Addr(0x1000), 4096);
-        let mut i = 0u64;
-        b.iter(|| {
-            let line = LineAddr(i % 10_000);
-            i += 1;
-            if t.lookup(line).is_none() {
-                t.insert(line, Perm::Read, 0);
-                std::hint::black_box(t.lookup(line));
-                t.release(line, 0);
-            }
-        });
+/// Times `iters` runs of `body` and prints ns/iter.
+fn bench(name: &str, iters: u64, mut body: impl FnMut()) {
+    // One warm-up pass so cold caches/allocations don't dominate.
+    body();
+    let start = Instant::now();
+    for _ in 0..iters {
+        body();
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_nanos() / u128::from(iters.max(1));
+    println!("{name:<34} {per_iter:>10} ns/iter  ({iters} iters)");
+}
+
+fn scale(iters: u64) -> u64 {
+    if quick() {
+        (iters / 20).max(1)
+    } else {
+        iters
+    }
+}
+
+fn bench_otable() {
+    let mut t = Otable::new(Addr(0x1000), 4096);
+    let mut i = 0u64;
+    bench("otable_insert_lookup_release", scale(100_000), || {
+        let line = LineAddr(i % 10_000);
+        i += 1;
+        if t.lookup(line).is_none() {
+            t.insert(line, Perm::Read, 0);
+            std::hint::black_box(t.lookup(line));
+            t.release(line, 0);
+        }
     });
 }
 
-fn bench_alloc(c: &mut Criterion) {
-    c.bench_function("sim_alloc_roundtrip", |b| {
-        let mut a = SimAlloc::new(Addr::from_word_index(0), 1 << 20);
-        b.iter(|| {
-            let x = a.alloc_line_aligned(8).expect("alloc");
-            std::hint::black_box(x);
-            a.free(x).expect("free");
-        });
+fn bench_alloc() {
+    let mut a = SimAlloc::new(Addr::from_word_index(0), 1 << 20);
+    bench("sim_alloc_roundtrip", scale(100_000), || {
+        let x = a.alloc_line_aligned(8).expect("alloc");
+        std::hint::black_box(x);
+        a.free(x).expect("free");
     });
 }
 
-fn bench_machine_access(c: &mut Criterion) {
-    c.bench_function("machine_plain_load_hit", |b| {
-        let mut m = Machine::new(MachineConfig::table4(1));
-        let a = Addr::from_word_index(100);
-        m.store(0, a, 1).expect("warm");
-        b.iter(|| std::hint::black_box(m.load(0, a).expect("hit")));
+fn bench_machine_access() {
+    let mut m = Machine::new(MachineConfig::table4(1));
+    let a = Addr::from_word_index(100);
+    m.store(0, a, 1).expect("warm");
+    bench("machine_plain_load_hit", scale(200_000), || {
+        std::hint::black_box(m.load(0, a).expect("hit"));
     });
-    c.bench_function("machine_btm_txn_commit", |b| {
-        let mut m = Machine::new(MachineConfig::table4(1));
-        let a = Addr::from_word_index(100);
-        b.iter(|| {
-            m.btm_begin(0).expect("begin");
-            m.store(0, a, 2).expect("spec store");
-            m.btm_end(0).expect("commit");
-        });
+    let mut m = Machine::new(MachineConfig::table4(1));
+    bench("machine_btm_txn_commit", scale(100_000), || {
+        m.btm_begin(0).expect("begin");
+        m.store(0, a, 2).expect("spec store");
+        m.btm_end(0).expect("commit");
     });
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    c.bench_function("sim_1k_hybrid_txns_2cpu", |b| {
-        b.iter(|| {
-            let cfg = MachineConfig::table4(2);
-            let shared = TmShared::standard(SystemKind::UfoHybrid, &cfg);
-            let machine = Machine::new(cfg);
-            let bodies: Vec<ThreadFn<TmShared>> = (0..2)
-                .map(|cpu| -> ThreadFn<TmShared> {
-                    Box::new(move |ctx: &mut Ctx<TmShared>| {
-                        let mut t = TmThread::new(SystemKind::UfoHybrid, cpu);
-                        t.install(ctx);
-                        for i in 0..500u64 {
-                            let addr = Addr(4096 + ((cpu as u64 * 1000 + i * 64) % 65536));
-                            t.transaction(ctx, |tx, ctx| {
-                                let v = tx.read(ctx, addr)?;
-                                tx.write(ctx, addr, v + 1)
-                            });
-                        }
-                    })
+fn bench_end_to_end() {
+    bench("sim_1k_hybrid_txns_2cpu", scale(20), || {
+        let cfg = MachineConfig::table4(2);
+        let shared = TmShared::standard(SystemKind::UfoHybrid, &cfg);
+        let machine = Machine::new(cfg);
+        let bodies: Vec<ThreadFn<TmShared>> = (0..2)
+            .map(|cpu| -> ThreadFn<TmShared> {
+                Box::new(move |ctx: &mut Ctx<TmShared>| {
+                    let mut t = TmThread::new(SystemKind::UfoHybrid, cpu);
+                    t.install(ctx);
+                    for i in 0..500u64 {
+                        let addr = Addr(4096 + ((cpu as u64 * 1000 + i * 64) % 65536));
+                        t.transaction(ctx, |tx, ctx| {
+                            let v = tx.read(ctx, addr)?;
+                            tx.write(ctx, addr, v + 1)
+                        });
+                    }
                 })
-                .collect();
-            let r = Sim::new(machine, shared).run(bodies);
-            std::hint::black_box(r.makespan);
-        });
+            })
+            .collect();
+        let r = Sim::new(machine, shared).run(bodies);
+        std::hint::black_box(r.makespan);
     });
 }
 
-criterion_group! {
-    name = micro;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_otable, bench_alloc, bench_machine_access, bench_end_to_end
+fn main() {
+    header("Substrate wall-time microbenchmarks (host ns, not simulated cycles)");
+    bench_otable();
+    bench_alloc();
+    bench_machine_access();
+    bench_end_to_end();
 }
-criterion_main!(micro);

@@ -1,7 +1,9 @@
 //! Regenerates Figure 5: speedup over sequential execution for every TM
 //! system on the five STAMP configurations, across thread counts.
 
-use ufotm_bench::{fig5_systems, header, one_line, print_speedup_table, quick, spec, speedup, thread_counts};
+use ufotm_bench::{
+    fig5_systems, header, one_line, print_speedup_table, quick, spec, speedup, thread_counts,
+};
 use ufotm_core::SystemKind;
 use ufotm_stamp::harness::{RunOutcome, RunSpec};
 use ufotm_stamp::{genome, kmeans, vacation};
@@ -10,8 +12,14 @@ type Runner = Box<dyn Fn(&RunSpec) -> RunOutcome>;
 
 fn workloads() -> Vec<(&'static str, Runner)> {
     let scale = |n: usize| if quick() { n / 3 } else { n };
-    let km_high = kmeans::KmeansParams { points: scale(768), ..kmeans::KmeansParams::high_contention() };
-    let km_low = kmeans::KmeansParams { points: scale(768), ..kmeans::KmeansParams::low_contention() };
+    let km_high = kmeans::KmeansParams {
+        points: scale(768),
+        ..kmeans::KmeansParams::high_contention()
+    };
+    let km_low = kmeans::KmeansParams {
+        points: scale(768),
+        ..kmeans::KmeansParams::low_contention()
+    };
     let vac_high = vacation::VacationParams {
         total_tasks: scale(96),
         ..vacation::VacationParams::high_contention()
@@ -20,12 +28,27 @@ fn workloads() -> Vec<(&'static str, Runner)> {
         total_tasks: scale(96),
         ..vacation::VacationParams::low_contention()
     };
-    let gen = genome::GenomeParams { segments: scale(384), ..genome::GenomeParams::standard() };
+    let gen = genome::GenomeParams {
+        segments: scale(384),
+        ..genome::GenomeParams::standard()
+    };
     vec![
-        ("kmeans high contention", Box::new(move |s: &RunSpec| kmeans::run(s, &km_high)) as Runner),
-        ("kmeans low contention", Box::new(move |s: &RunSpec| kmeans::run(s, &km_low))),
-        ("vacation high contention", Box::new(move |s: &RunSpec| vacation::run(s, &vac_high))),
-        ("vacation low contention", Box::new(move |s: &RunSpec| vacation::run(s, &vac_low))),
+        (
+            "kmeans high contention",
+            Box::new(move |s: &RunSpec| kmeans::run(s, &km_high)) as Runner,
+        ),
+        (
+            "kmeans low contention",
+            Box::new(move |s: &RunSpec| kmeans::run(s, &km_low)),
+        ),
+        (
+            "vacation high contention",
+            Box::new(move |s: &RunSpec| vacation::run(s, &vac_high)),
+        ),
+        (
+            "vacation low contention",
+            Box::new(move |s: &RunSpec| vacation::run(s, &vac_low)),
+        ),
         ("genome", Box::new(move |s: &RunSpec| genome::run(s, &gen))),
     ]
 }

@@ -23,14 +23,29 @@ fn main() {
         print_abort_breakdown(name, &refs);
     };
 
-    let km_high = kmeans::KmeansParams { points: scale(768), ..kmeans::KmeansParams::high_contention() };
+    let km_high = kmeans::KmeansParams {
+        points: scale(768),
+        ..kmeans::KmeansParams::high_contention()
+    };
     run_all("kmeans high contention", &|s| kmeans::run(s, &km_high));
-    let km_low = kmeans::KmeansParams { points: scale(768), ..kmeans::KmeansParams::low_contention() };
+    let km_low = kmeans::KmeansParams {
+        points: scale(768),
+        ..kmeans::KmeansParams::low_contention()
+    };
     run_all("kmeans low contention", &|s| kmeans::run(s, &km_low));
-    let vac_high = vacation::VacationParams { total_tasks: scale(96), ..vacation::VacationParams::high_contention() };
+    let vac_high = vacation::VacationParams {
+        total_tasks: scale(96),
+        ..vacation::VacationParams::high_contention()
+    };
     run_all("vacation high contention", &|s| vacation::run(s, &vac_high));
-    let vac_low = vacation::VacationParams { total_tasks: scale(96), ..vacation::VacationParams::low_contention() };
+    let vac_low = vacation::VacationParams {
+        total_tasks: scale(96),
+        ..vacation::VacationParams::low_contention()
+    };
     run_all("vacation low contention", &|s| vacation::run(s, &vac_low));
-    let gen = genome::GenomeParams { segments: scale(384), ..genome::GenomeParams::standard() };
+    let gen = genome::GenomeParams {
+        segments: scale(384),
+        ..genome::GenomeParams::standard()
+    };
     run_all("genome", &|s| genome::run(s, &gen));
 }

@@ -23,9 +23,15 @@ fn main() {
         SystemKind::UstmStrong,
     ];
 
-    let params_at = |rate: f64| MicroParams { txns_per_thread: txns, ..MicroParams::with_rate(rate) };
+    let params_at = |rate: f64| MicroParams {
+        txns_per_thread: txns,
+        ..MicroParams::with_rate(rate)
+    };
     let seq = micro::run(&spec(SystemKind::Sequential, 1), &params_at(0.0));
-    println!("sequential makespan = {} cycles ({} txns)", seq.makespan, txns);
+    println!(
+        "sequential makespan = {} cycles ({} txns)",
+        seq.makespan, txns
+    );
     println!("(speedup is throughput-normalized: threads x seq / makespan,");
     println!(" since each thread runs its own {txns}-txn stream)");
 
@@ -56,14 +62,22 @@ fn main() {
     for &k in &systems {
         let out = micro::run(&spec(k, threads), &params_at(0.0));
         let overhead = out.makespan as f64 / base.makespan as f64 - 1.0;
-        println!("  {:<14} makespan={:>10}  overhead={:>6.1}%", k.label(), out.makespan, overhead * 100.0);
+        println!(
+            "  {:<14} makespan={:>10}  overhead={:>6.1}%",
+            k.label(),
+            out.makespan,
+            overhead * 100.0
+        );
     }
 
     // The UFO/HyTM crossover (paper: UFO hybrid's software transactions pay
     // for UFO-bit maintenance, so HyTM overtakes it at high failover rates —
     // the paper measures ≈45 %).
     let mut recap = Recap::new();
-    let ufo_idx = systems.iter().position(|&k| k == SystemKind::UfoHybrid).unwrap();
+    let ufo_idx = systems
+        .iter()
+        .position(|&k| k == SystemKind::UfoHybrid)
+        .unwrap();
     let hytm_idx = systems.iter().position(|&k| k == SystemKind::HyTm).unwrap();
     let crossover = rates
         .iter()
@@ -74,7 +88,11 @@ fn main() {
     recap.note("UFO/HyTM crossover rate (paper: ~45%)", crossover);
     recap.note(
         "UFO hybrid degradation 0%→100%",
-        format!("{:.2}x → {:.2}x", series[ufo_idx][0], series[ufo_idx][rates.len() - 1]),
+        format!(
+            "{:.2}x → {:.2}x",
+            series[ufo_idx][0],
+            series[ufo_idx][rates.len() - 1]
+        ),
     );
     recap.print("Figure 7");
 }

@@ -108,11 +108,17 @@ fn main() {
 
     println!();
     println!("[genome]");
-    let gen = genome::GenomeParams { segments: scale(384), ..genome::GenomeParams::standard() };
+    let gen = genome::GenomeParams {
+        segments: scale(384),
+        ..genome::GenomeParams::standard()
+    };
     run_with(&cfgs, threads, &|s| genome::run(s, &gen));
 
     println!();
     println!("[kmeans high contention]");
-    let km = kmeans::KmeansParams { points: scale(768), ..kmeans::KmeansParams::high_contention() };
+    let km = kmeans::KmeansParams {
+        points: scale(768),
+        ..kmeans::KmeansParams::high_contention()
+    };
     run_with(&cfgs, threads, &|s| kmeans::run(s, &km));
 }

@@ -17,7 +17,10 @@ fn main() {
     };
     let threads = thread_counts();
     let seq = ssca2::run(&spec(SystemKind::Sequential, 1), &params);
-    println!("sequential makespan = {} cycles ({} edges)", seq.makespan, params.edges);
+    println!(
+        "sequential makespan = {} cycles ({} edges)",
+        seq.makespan, params.edges
+    );
     let mut rows = Vec::new();
     for kind in fig5_systems() {
         let mut speedups = Vec::new();

@@ -8,14 +8,34 @@ fn main() {
     let cfg = MachineConfig::table4(16);
     let c = &cfg.costs;
     println!("{:<34} {}", "CPUs (max modelled)", 64);
-    println!("{:<34} {} sets x {} ways x 64 B = {} KiB", "L1 data cache",
-        cfg.l1.sets(), cfg.l1.ways(), cfg.l1.capacity_bytes() / 1024);
-    println!("{:<34} {} sets x {} ways x 64 B = {} KiB", "L2 unified cache",
-        cfg.l2.sets(), cfg.l2.ways(), cfg.l2.capacity_bytes() / 1024);
+    println!(
+        "{:<34} {} sets x {} ways x 64 B = {} KiB",
+        "L1 data cache",
+        cfg.l1.sets(),
+        cfg.l1.ways(),
+        cfg.l1.capacity_bytes() / 1024
+    );
+    println!(
+        "{:<34} {} sets x {} ways x 64 B = {} KiB",
+        "L2 unified cache",
+        cfg.l2.sets(),
+        cfg.l2.ways(),
+        cfg.l2.capacity_bytes() / 1024
+    );
     println!("{:<34} {} B", "cache line size", 64);
-    println!("{:<34} {} MiB", "physical memory", cfg.memory_words * 8 / (1 << 20));
-    println!("{:<34} directory (MESI-like, owner+sharers)", "coherence protocol");
-    println!("{:<34} 16384 bins x 16 B (standard layout)", "USTM otable size");
+    println!(
+        "{:<34} {} MiB",
+        "physical memory",
+        cfg.memory_words * 8 / (1 << 20)
+    );
+    println!(
+        "{:<34} directory (MESI-like, owner+sharers)",
+        "coherence protocol"
+    );
+    println!(
+        "{:<34} 16384 bins x 16 B (standard layout)",
+        "USTM otable size"
+    );
     println!();
     println!("latencies (cycles):");
     println!("  {:<32} {}", "L1 hit", c.l1_hit);
@@ -28,11 +48,13 @@ fn main() {
     println!("  {:<32} {}", "btm abort handling", c.btm_abort);
     println!("  {:<32} {}", "UFO bit instruction", c.ufo_op);
     println!("  {:<32} {}", "fault dispatch", c.fault_dispatch);
-    println!("  {:<32} {}", "timer interrupt service", c.interrupt_service);
     println!(
-        "  {:<32} {:?}",
-        "timer quantum (cycles)",
-        cfg.timer_quantum
+        "  {:<32} {}",
+        "timer interrupt service", c.interrupt_service
     );
-    println!("  {:<32} {} / {}", "page in / page out", c.page_in, c.page_out);
+    println!("  {:<32} {:?}", "timer quantum (cycles)", cfg.timer_quantum);
+    println!(
+        "  {:<32} {} / {}",
+        "page in / page out", c.page_in, c.page_out
+    );
 }

@@ -73,11 +73,7 @@ pub fn header(title: &str) {
 }
 
 /// Prints a speedup table: rows = systems, columns = thread counts.
-pub fn print_speedup_table(
-    workload: &str,
-    threads: &[usize],
-    rows: &[(SystemKind, Vec<f64>)],
-) {
+pub fn print_speedup_table(workload: &str, threads: &[usize], rows: &[(SystemKind, Vec<f64>)]) {
     println!();
     println!("-- {workload}: speedup over sequential --");
     print!("{:<14}", "system");
@@ -106,7 +102,11 @@ pub fn fig6_buckets() -> Vec<(&'static str, Vec<AbortReason>)> {
         ("explicit", vec![AbortReason::Explicit]),
         (
             "recoverable",
-            vec![AbortReason::Interrupt, AbortReason::PageFault],
+            vec![
+                AbortReason::Interrupt,
+                AbortReason::PageFault,
+                AbortReason::Spurious,
+            ],
         ),
         (
             "unsupported",

@@ -38,8 +38,10 @@ pub use lockbase::LockShared;
 pub use phtm::PhtmShared;
 pub use policy::{BtmUfoFaultPolicy, HybridPolicy};
 pub use runtime::TmThread;
-pub use trace::{TraceEvent, TraceKind, TraceLog};
-pub use shared::{AllocModel, HasTm, HybridStats, SystemKind, TmShared, TmSharedLayout, TmWorld};
+pub use shared::{
+    AllocModel, HasTm, HybridStats, SerialGate, SystemKind, TmShared, TmSharedLayout, TmWorld,
+};
+pub use trace::{EscalationTier, TraceEvent, TraceKind, TraceLog};
 pub use tx::{Tx, TxAbort};
 
 /// Re-exported so harnesses can reach the strong-atomicity helpers without

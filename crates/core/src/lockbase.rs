@@ -18,7 +18,11 @@ impl LockShared {
     /// Creates the lock at simulated address `addr` (reserve one line).
     #[must_use]
     pub fn new(addr: Addr) -> Self {
-        LockShared { addr, holder: None, acquisitions: 0 }
+        LockShared {
+            addr,
+            holder: None,
+            acquisitions: 0,
+        }
     }
 
     /// Who holds the lock (tests/diagnostics).

@@ -38,6 +38,25 @@ pub struct HybridPolicy {
     pub backoff_cap_exp: u32,
     /// Cycles a [`BtmUfoFaultPolicy::Stall`] retry waits between attempts.
     pub ufo_stall_backoff: u64,
+    /// Percent of each backoff added as seeded random jitter (watchdog
+    /// tier 0: randomized backoff breaks symmetric abort ping-pong). `0`
+    /// keeps the paper's pure exponential schedule.
+    pub backoff_jitter_pct: u32,
+    /// Watchdog tier 1: after this many *consecutive* hardware aborts of
+    /// any recoverable class, stop retrying in hardware and fail the
+    /// transaction over to the STM. `None` (the default) disables the
+    /// watchdog and keeps the paper's retry-forever policy.
+    pub watchdog_hw_attempts: Option<u32>,
+    /// Watchdog tier 2: after this many consecutive software kills of the
+    /// same transaction, escalate to serial-irrevocable execution under
+    /// the global lock (strongly-atomic systems only). `None` disables.
+    pub watchdog_sw_kills: Option<u32>,
+    /// Watchdog livelock accelerator: if the *global* commit count has not
+    /// advanced across this many consecutive abort/backoff observations by
+    /// this thread, escalate straight to the strongest available tier
+    /// (nobody is making progress, so per-transaction patience is
+    /// pointless). `None` disables.
+    pub watchdog_stagnation: Option<u32>,
 }
 
 impl Default for HybridPolicy {
@@ -48,6 +67,10 @@ impl Default for HybridPolicy {
             backoff_base: 50,
             backoff_cap_exp: 7,
             ufo_stall_backoff: 60,
+            backoff_jitter_pct: 0,
+            watchdog_hw_attempts: None,
+            watchdog_sw_kills: None,
+            watchdog_stagnation: None,
         }
     }
 }
@@ -65,13 +88,38 @@ impl HybridPolicy {
     /// aborts.
     #[must_use]
     pub fn failover_on_nth_conflict(n: u32) -> Self {
-        HybridPolicy { conflict_failover_after: Some(n), ..HybridPolicy::default() }
+        HybridPolicy {
+            conflict_failover_after: Some(n),
+            ..HybridPolicy::default()
+        }
     }
 
     /// Figure 8, third bar: stall (rather than abort) on UFO faults.
     #[must_use]
     pub fn stall_on_ufo_fault() -> Self {
-        HybridPolicy { btm_ufo_fault: BtmUfoFaultPolicy::Stall, ..HybridPolicy::default() }
+        HybridPolicy {
+            btm_ufo_fault: BtmUfoFaultPolicy::Stall,
+            ..HybridPolicy::default()
+        }
+    }
+
+    /// The progress watchdog, armed with its default limits: jittered
+    /// backoff, software failover after 16 consecutive hardware aborts,
+    /// serial-irrevocable execution after 8 consecutive software kills,
+    /// and immediate escalation once 8 consecutive observations show zero
+    /// global commit progress. Guarantees every transaction commits within
+    /// a bounded number of attempts, at the price of abandoning the
+    /// paper's never-fail-over-on-contention recommendation when the
+    /// system is demonstrably stuck.
+    #[must_use]
+    pub fn watchdog() -> Self {
+        HybridPolicy {
+            backoff_jitter_pct: 25,
+            watchdog_hw_attempts: Some(16),
+            watchdog_sw_kills: Some(8),
+            watchdog_stagnation: Some(8),
+            ..HybridPolicy::default()
+        }
     }
 }
 
@@ -99,5 +147,22 @@ mod tests {
             BtmUfoFaultPolicy::Stall
         );
         assert_eq!(HybridPolicy::default().conflict_failover_after, None);
+    }
+
+    #[test]
+    fn watchdog_is_off_by_default_and_bounded_when_armed() {
+        let d = HybridPolicy::default();
+        assert_eq!(d.backoff_jitter_pct, 0);
+        assert_eq!(d.watchdog_hw_attempts, None);
+        assert_eq!(d.watchdog_sw_kills, None);
+        assert_eq!(d.watchdog_stagnation, None);
+        let w = HybridPolicy::watchdog();
+        assert!(w.watchdog_hw_attempts.is_some());
+        assert!(w.watchdog_sw_kills.is_some());
+        assert!(w.watchdog_stagnation.is_some());
+        assert!(w.backoff_jitter_pct > 0);
+        // The armed watchdog leaves the paper's CM knobs alone.
+        assert_eq!(w.conflict_failover_after, None);
+        assert_eq!(w.backoff_for(1), d.backoff_for(1));
     }
 }

@@ -1,23 +1,32 @@
 //! The per-thread transaction drivers: retry loops, the BTM abort handler
 //! (paper Algorithm 3), and the hybrid failover machinery.
 
-use ufotm_machine::{AbortInfo, AbortReason, AccessError, Addr};
+use ufotm_machine::{splitmix64, AbortInfo, AbortReason, AccessError, Addr, SimRng};
 use ufotm_sim::Ctx;
 use ufotm_tl2::Tl2Txn;
-use ufotm_ustm::{nont_load, UstmAbort, UstmTxn};
+use ufotm_ustm::{nont_load, TxnStatus, UstmAbort, UstmTxn};
 
 use crate::lockbase::{lock_acquire, lock_release};
 use crate::policy::HybridPolicy;
 use crate::shared::{SystemKind, TmWorld};
-use crate::trace::TraceKind;
+use crate::trace::{EscalationTier, TraceKind};
 use crate::tx::{Mode, Tx, TxAbort};
 
-/// Records one trace event (free when the journal is disabled).
+/// Records one trace event (free when the journal is disabled). Any chaos
+/// faults the machine injected since the last event are drained first, so
+/// a `FaultInjected` entry always precedes the driver event it provoked.
 fn trace<U: TmWorld>(ctx: &mut Ctx<U>, kind: TraceKind) {
     let cpu = ctx.cpu();
     ctx.with(|w| {
+        let injected = w.machine.drain_chaos_events();
         let t = w.shared.tm();
         if t.trace.is_recording() {
+            for e in &injected {
+                w.shared
+                    .tm()
+                    .trace
+                    .record(e.cycle, e.cpu, TraceKind::FaultInjected(e.kind));
+            }
             let cycle = w.machine.now(cpu);
             w.shared.tm().trace.record(cycle, cpu, kind);
         }
@@ -34,6 +43,8 @@ enum HwFail {
     RetryRequested,
     /// PhTM only: the system is in an STM phase.
     PhaseBusy,
+    /// A serial-irrevocable transaction holds the system; wait it out.
+    SerialBusy,
 }
 
 /// The per-thread TM runtime: owns the software transaction handles and
@@ -47,6 +58,13 @@ pub struct TmThread {
     tl2: Tl2Txn,
     alloc_budget: u32,
     consecutive: u32,
+    /// Seeded per-thread stream for backoff jitter (watchdog tier 0);
+    /// deterministic per CPU, so runs stay bit-reproducible.
+    rng: SimRng,
+    /// Global commit count at this thread's last watchdog observation.
+    last_commits: u64,
+    /// Consecutive watchdog observations with no global commit progress.
+    stagnant: u32,
 }
 
 impl TmThread {
@@ -67,6 +85,9 @@ impl TmThread {
             tl2: Tl2Txn::new(cpu),
             alloc_budget: 1, // first allocation refills the pool
             consecutive: 0,
+            rng: SimRng::seed_from_u64(splitmix64(&mut (0x057a_7d06 ^ cpu as u64))),
+            last_commits: 0,
+            stagnant: 0,
         }
     }
 
@@ -137,7 +158,22 @@ impl TmThread {
         ctx: &mut Ctx<U>,
         body: &mut impl FnMut(&mut Tx<'_>, &mut Ctx<U>) -> Result<R, TxAbort>,
     ) -> R {
+        let mut kills: u32 = 0;
         loop {
+            if self.serial_gate_armed() {
+                self.wait_serial_clear(ctx);
+            }
+            // Watchdog tier 2: a transaction that keeps getting killed in
+            // software (or observes system-wide stagnation) escalates to
+            // serial-irrevocable execution. Only sound where the serial
+            // path's plain accesses are strongly atomic.
+            if let Some(limit) = self.policy.watchdog_sw_kills {
+                let stagnant = kills > 0 && self.observe_stagnation(ctx);
+                if (kills >= limit || stagnant) && self.kind.strong_atomicity() {
+                    self.escalate(ctx, EscalationTier::Serial);
+                    return self.serial_path(ctx, body);
+                }
+            }
             trace(ctx, TraceKind::SwBegin);
             self.ustm.begin(ctx);
             let mut tx = Tx::new(
@@ -161,6 +197,7 @@ impl TmThread {
                         undo_allocs(ctx, &bk.allocs);
                         trace(ctx, TraceKind::SwAbort);
                         self.ustm.wait_for_killer(ctx);
+                        kills += 1;
                     }
                     Err(other) => unreachable!("commit produced {other:?}"),
                 },
@@ -168,6 +205,7 @@ impl TmThread {
                     undo_allocs(ctx, &bk.allocs);
                     trace(ctx, TraceKind::SwAbort);
                     self.ustm.wait_for_killer(ctx);
+                    kills += 1;
                 }
                 Err(TxAbort::Stm(UstmAbort::RetryWoken | UstmAbort::Explicit)) => {
                     undo_allocs(ctx, &bk.allocs);
@@ -256,7 +294,37 @@ impl TmThread {
                 }
             }
         }
-        let mut tx = Tx::new(self.cpu, Mode::Hw { hytm }, self.policy, &mut self.alloc_budget);
+        if self.serial_gate_armed() {
+            // Transactionally subscribe to the serial-irrevocable flag:
+            // raising it dooms this transaction through plain coherence;
+            // finding it already raised means a serial transaction holds
+            // the system — abort and get out of its way. Without this gate
+            // a hardware commit could land between a serial transaction's
+            // read and write of the same line (a lost update).
+            let cpu = self.cpu;
+            loop {
+                let r = ctx.with(|w| {
+                    let a = w.shared.tm().serial.addr();
+                    w.machine.load(cpu, a).map(|_| w.shared.tm().serial.active)
+                });
+                match r {
+                    Ok(false) => break,
+                    Ok(true) => {
+                        ctx.btm_abort_with(AbortInfo::new(AbortReason::Explicit));
+                        return Err(HwFail::SerialBusy);
+                    }
+                    Err(AccessError::Nacked) => {}
+                    Err(AccessError::TxnAbort(i)) => return Err(HwFail::Abort(i)),
+                    Err(e) => panic!("serial gate subscribe: {e}"),
+                }
+            }
+        }
+        let mut tx = Tx::new(
+            self.cpu,
+            Mode::Hw { hytm },
+            self.policy,
+            &mut self.alloc_budget,
+        );
         let out = body(&mut tx, ctx);
         let bk = tx.into_bookkeeping();
         match out {
@@ -294,12 +362,151 @@ impl TmThread {
     }
 
     /// Exponential backoff after a contention-class abort (Algorithm 3's
-    /// counted backoff).
+    /// counted backoff), with optional seeded jitter (watchdog tier 0 —
+    /// symmetric contenders otherwise back off in lockstep and re-collide).
     fn backoff<U: TmWorld>(&mut self, ctx: &mut Ctx<U>) {
         self.consecutive += 1;
         ctx.with(|w| w.shared.tm().stats.hw_retries += 1);
-        let cycles = self.policy.backoff_for(self.consecutive);
+        let mut cycles = self.policy.backoff_for(self.consecutive);
+        if self.policy.backoff_jitter_pct > 0 {
+            let span = cycles * u64::from(self.policy.backoff_jitter_pct) / 100;
+            if span > 0 {
+                cycles += self.rng.gen_range(0..span);
+            }
+        }
         ctx.stall(cycles).expect("backoff stall");
+    }
+
+    /// One watchdog observation: has the whole system committed anything
+    /// since this thread last looked? Returns `true` when the stagnation
+    /// limit is armed and has been reached (the livelock signature:
+    /// everybody aborts, nobody commits).
+    fn observe_stagnation<U: TmWorld>(&mut self, ctx: &mut Ctx<U>) -> bool {
+        let Some(limit) = self.policy.watchdog_stagnation else {
+            return false;
+        };
+        let now = ctx.with(|w| w.shared.tm().stats.total_commits());
+        if now != self.last_commits {
+            self.last_commits = now;
+            self.stagnant = 0;
+            return false;
+        }
+        self.stagnant += 1;
+        self.stagnant >= limit
+    }
+
+    /// Records a watchdog escalation (counter + trace journal).
+    fn escalate<U: TmWorld>(&mut self, ctx: &mut Ctx<U>, tier: EscalationTier) {
+        self.stagnant = 0;
+        ctx.with(|w| w.shared.tm().stats.watchdog_escalations += 1);
+        trace(ctx, TraceKind::WatchdogEscalation(tier));
+    }
+
+    /// Whether this thread participates in the serial-irrevocable gate:
+    /// the policy can escalate to tier 2 and the system's plain accesses
+    /// are strongly atomic (the soundness requirement for serial mode).
+    fn serial_gate_armed(&self) -> bool {
+        self.kind.strong_atomicity()
+            && (self.policy.watchdog_sw_kills.is_some()
+                || self.policy.watchdog_stagnation.is_some())
+    }
+
+    /// Spins (with stalls) until no serial-irrevocable transaction holds
+    /// the system.
+    fn wait_serial_clear<U: TmWorld>(&mut self, ctx: &mut Ctx<U>) {
+        let cpu = self.cpu;
+        loop {
+            let active = ctx.with(|w| {
+                let a = w.shared.tm().serial.addr();
+                w.machine.load(cpu, a).expect("serial flag read");
+                w.shared.tm().serial.active
+            });
+            if !active {
+                return;
+            }
+            ctx.stall(200).expect("serial gate wait");
+        }
+    }
+
+    /// The watchdog's last tier: run the transaction serial-irrevocably
+    /// under the global lock with the stop flag raised. Raising the flag
+    /// dooms every subscribed hardware transaction through plain coherence
+    /// and turns away new attempts; in-flight software transactions are
+    /// quiesced before the body runs. Accesses then use the
+    /// strong-atomicity-aware non-transactional path, which cannot abort,
+    /// so this attempt always commits — the bounded-retry guarantee.
+    fn serial_path<U: TmWorld, R>(
+        &mut self,
+        ctx: &mut Ctx<U>,
+        body: &mut impl FnMut(&mut Tx<'_>, &mut Ctx<U>) -> Result<R, TxAbort>,
+    ) -> R {
+        trace(ctx, TraceKind::SerialIrrevocable);
+        lock_acquire(ctx, 80);
+        let cpu = self.cpu;
+        ctx.with(|w| {
+            let a = {
+                let t = w.shared.tm();
+                t.serial.active = true;
+                t.serial.raised += 1;
+                t.serial.addr()
+            };
+            w.machine.store(cpu, a, 1).expect("serial flag raise");
+        });
+        // Quiesce in-flight software transactions. Parked (`Retrying`)
+        // sleepers may stay parked: they hold read ownership only, and a
+        // conflicting serial store wakes them through the fault handler.
+        loop {
+            let busy = ctx.with(|w| {
+                w.shared.ustm().slots.iter().enumerate().any(|(o, s)| {
+                    o != cpu
+                        && matches!(
+                            s.status,
+                            TxnStatus::Active | TxnStatus::Committing | TxnStatus::Aborting
+                        )
+                })
+            });
+            if !busy {
+                break;
+            }
+            ctx.stall(120).expect("serial quiesce wait");
+        }
+        let mut tx = Tx::new(self.cpu, Mode::Serial, self.policy, &mut self.alloc_budget);
+        let r = body(&mut tx, ctx);
+        let bk = tx.into_bookkeeping();
+        let r = r.unwrap_or_else(|e| panic!("serial-mode body cannot abort, got {e}"));
+        apply_frees(ctx, &bk.frees);
+        ctx.with(|w| w.shared.tm().stats.serial_commits += 1);
+        trace(ctx, TraceKind::PlainCommit);
+        bk.run_deferred();
+        ctx.with(|w| {
+            let a = {
+                let t = w.shared.tm();
+                t.serial.active = false;
+                t.serial.addr()
+            };
+            w.machine.store(cpu, a, 0).expect("serial flag lower");
+        });
+        lock_release(ctx);
+        r
+    }
+
+    /// Watchdog tiers 1–2 for hardware attempts. `Software` once the
+    /// consecutive-abort limit trips; `Serial` straight away when global
+    /// commit progress has stalled (per-transaction patience cannot break
+    /// a livelock — every contender must leave the optimistic path).
+    fn watchdog_tier<U: TmWorld>(&mut self, ctx: &mut Ctx<U>) -> Option<EscalationTier> {
+        let stagnant = self.observe_stagnation(ctx);
+        if stagnant && self.kind.strong_atomicity() {
+            return Some(EscalationTier::Serial);
+        }
+        let tripped = self
+            .policy
+            .watchdog_hw_attempts
+            .is_some_and(|n| self.consecutive + 1 >= n);
+        if tripped || stagnant {
+            return Some(EscalationTier::Software);
+        }
+        None
     }
 
     /// Software fix-up for a page-fault abort: touch the page
@@ -333,6 +540,10 @@ impl TmThread {
                     return self.ustm_path(ctx, body);
                 }
                 Err(HwFail::PhaseBusy) => unreachable!("no phase check in UFO hybrid"),
+                // A serial-irrevocable transaction holds the system: wait
+                // for it to finish, then retry in hardware (no backoff —
+                // this is not contention, and the wait itself paces us).
+                Err(HwFail::SerialBusy) => self.wait_serial_clear(ctx),
                 Err(HwFail::Abort(info)) => {
                     if info.reason.is_failover() {
                         ctx.with(|w| w.shared.tm().stats.record_failover(info.reason));
@@ -347,15 +558,29 @@ impl TmThread {
                         | AbortReason::UfoFault => {
                             if let Some(n) = self.policy.conflict_failover_after {
                                 if self.consecutive + 1 >= n {
-                                    ctx.with(|w| {
-                                        w.shared.tm().stats.record_failover(info.reason)
-                                    });
+                                    ctx.with(|w| w.shared.tm().stats.record_failover(info.reason));
                                     return self.ustm_path(ctx, body);
                                 }
                             }
+                            if let Some(tier) = self.watchdog_tier(ctx) {
+                                self.escalate(ctx, tier);
+                                return match tier {
+                                    EscalationTier::Serial => self.serial_path(ctx, body),
+                                    EscalationTier::Software => self.ustm_path(ctx, body),
+                                };
+                            }
                             self.backoff(ctx);
                         }
-                        _ => self.backoff(ctx),
+                        _ => {
+                            if let Some(tier) = self.watchdog_tier(ctx) {
+                                self.escalate(ctx, tier);
+                                return match tier {
+                                    EscalationTier::Serial => self.serial_path(ctx, body),
+                                    EscalationTier::Software => self.ustm_path(ctx, body),
+                                };
+                            }
+                            self.backoff(ctx);
+                        }
                     }
                 }
             }
@@ -388,7 +613,7 @@ impl TmThread {
                 },
                 // No software to fail over to: spin and retry.
                 Err(HwFail::Forced) | Err(HwFail::RetryRequested) => self.backoff(ctx),
-                Err(HwFail::PhaseBusy) => unreachable!(),
+                Err(HwFail::PhaseBusy | HwFail::SerialBusy) => unreachable!(),
             }
         }
     }
@@ -408,7 +633,9 @@ impl TmThread {
                     return self.ustm_path(ctx, body);
                 }
                 Err(HwFail::RetryRequested) => return self.ustm_path(ctx, body),
-                Err(HwFail::PhaseBusy) => unreachable!("no phase check in HyTM"),
+                Err(HwFail::PhaseBusy | HwFail::SerialBusy) => {
+                    unreachable!("no phase check or serial gate in HyTM")
+                }
                 Err(HwFail::Abort(info)) => {
                     if info.reason.is_failover() {
                         ctx.with(|w| w.shared.tm().stats.record_failover(info.reason));
@@ -452,7 +679,8 @@ impl TmThread {
             if stm != 0 {
                 // Draining back toward a hardware phase: stall, don't start.
                 ctx.with(|w| w.shared.tm().phtm.phase_stalls += 1);
-                ctx.stall(self.policy.backoff_base * 4).expect("phase stall");
+                ctx.stall(self.policy.backoff_base * 4)
+                    .expect("phase stall");
                 continue;
             }
             match self.hw_attempt(ctx, body, false, true) {
@@ -463,6 +691,7 @@ impl TmThread {
                 }
                 Err(HwFail::RetryRequested) => return self.phtm_sw(ctx, body, true),
                 Err(HwFail::PhaseBusy) => { /* loop back to the phase check */ }
+                Err(HwFail::SerialBusy) => unreachable!("no serial gate in PhTM"),
                 Err(HwFail::Abort(info)) => {
                     if info.reason.is_failover() {
                         ctx.with(|w| w.shared.tm().stats.record_failover(info.reason));

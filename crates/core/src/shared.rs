@@ -39,7 +39,17 @@ impl SystemKind {
     #[must_use]
     pub const fn all() -> [SystemKind; 9] {
         use SystemKind::*;
-        [Sequential, GlobalLock, UstmWeak, UstmStrong, Tl2, UnboundedHtm, UfoHybrid, HyTm, PhTm]
+        [
+            Sequential,
+            GlobalLock,
+            UstmWeak,
+            UstmStrong,
+            Tl2,
+            UnboundedHtm,
+            UfoHybrid,
+            HyTm,
+            PhTm,
+        ]
     }
 
     /// Short label for tables (matches the paper's legends).
@@ -83,7 +93,10 @@ impl SystemKind {
     /// Whether this is a hybrid (has a software failover path).
     #[must_use]
     pub const fn is_hybrid(self) -> bool {
-        matches!(self, SystemKind::UfoHybrid | SystemKind::HyTm | SystemKind::PhTm)
+        matches!(
+            self,
+            SystemKind::UfoHybrid | SystemKind::HyTm | SystemKind::PhTm
+        )
     }
 }
 
@@ -103,6 +116,13 @@ pub struct HybridStats {
     pub sw_commits: u64,
     /// Transactions committed while holding the global lock.
     pub lock_commits: u64,
+    /// Transactions committed serial-irrevocably (the watchdog's last
+    /// tier; these also hold the global lock but are counted apart so
+    /// degradation is visible).
+    pub serial_commits: u64,
+    /// Times the progress watchdog escalated a transaction to a stronger
+    /// tier (software failover or serial-irrevocable execution).
+    pub watchdog_escalations: u64,
     /// Failovers to software, by the abort reason that triggered them.
     pub failovers: BTreeMap<AbortReason, u64>,
     /// Failovers forced by the microbenchmark hook.
@@ -117,7 +137,7 @@ impl HybridStats {
     /// Total commits across modes.
     #[must_use]
     pub fn total_commits(&self) -> u64 {
-        self.hw_commits + self.sw_commits + self.lock_commits
+        self.hw_commits + self.sw_commits + self.lock_commits + self.serial_commits
     }
 
     /// Total failovers.
@@ -128,6 +148,41 @@ impl HybridStats {
 
     pub(crate) fn record_failover(&mut self, reason: AbortReason) {
         *self.failovers.entry(reason).or_insert(0) += 1;
+    }
+}
+
+/// The serial-irrevocable stop flag (watchdog tier 2).
+///
+/// The flag word lives on its own metadata line. Hardware attempts under a
+/// serial-armed policy transactionally subscribe to it, so raising it dooms
+/// every in-flight hardware transaction through plain coherence (the same
+/// mechanism PhTM uses for its phase counters), and software attempts check
+/// it before beginning. The host-side mirror carries the value; the
+/// simulated loads and stores provide the timing and the conflicts.
+#[derive(Clone, Copy, Debug)]
+pub struct SerialGate {
+    addr: Addr,
+    /// Whether a serial-irrevocable transaction currently holds the system.
+    pub active: bool,
+    /// Times the gate has been raised.
+    pub raised: u64,
+}
+
+impl SerialGate {
+    /// A gate whose flag word lives at `addr`.
+    #[must_use]
+    pub fn new(addr: Addr) -> Self {
+        SerialGate {
+            addr,
+            active: false,
+            raised: 0,
+        }
+    }
+
+    /// The simulated address of the flag word.
+    #[must_use]
+    pub fn addr(&self) -> Addr {
+        self.addr
     }
 }
 
@@ -170,7 +225,10 @@ impl TmSharedLayout {
         let tl2_locks = 16 * 1024;
         let meta_words = Self::required_meta_words(cfg.cpus, otable_bins, tl2_locks);
         let total = cfg.memory_words;
-        assert!(total > meta_words + (1 << 17), "memory too small for standard layout");
+        assert!(
+            total > meta_words + (1 << 17),
+            "memory too small for standard layout"
+        );
         let meta_base_word = total - meta_words;
         let heap_base_word = total / 4;
         TmSharedLayout {
@@ -197,7 +255,11 @@ pub struct AllocModel {
 
 impl Default for AllocModel {
     fn default() -> Self {
-        AllocModel { syscall_every: 32, alloc_cost: 30, syscall_cost: 500 }
+        AllocModel {
+            syscall_every: 32,
+            alloc_cost: 30,
+            syscall_cost: 500,
+        }
     }
 }
 
@@ -216,6 +278,8 @@ pub struct TmShared {
     pub phtm: PhtmShared,
     /// The global lock.
     pub lock: LockShared,
+    /// The serial-irrevocable stop flag (watchdog tier 2).
+    pub serial: SerialGate,
     /// The shared heap allocator.
     pub heap: SimAlloc,
     /// Allocator modelling knobs.
@@ -242,12 +306,14 @@ impl TmShared {
         let tl2_words = Tl2Shared::required_words(layout.tl2_locks);
         let lock_base = Addr(tl2_base.0 + tl2_words * 8);
         let phtm_base = Addr(lock_base.0 + 64);
+        let serial_base = Addr(phtm_base.0 + 128);
         TmShared {
             kind,
             ustm: UstmShared::new(ustm_cfg, ustm_base, cpus, layout.otable_bins),
             tl2: Tl2Shared::new(Tl2Config::default(), tl2_base, layout.tl2_locks),
             phtm: PhtmShared::new(phtm_base),
             lock: LockShared::new(lock_base),
+            serial: SerialGate::new(serial_base),
             heap: SimAlloc::new(layout.heap_base, layout.heap_words),
             alloc_model: AllocModel::default(),
             stats: HybridStats::default(),
@@ -290,7 +356,6 @@ impl HasTm for TmShared {
 pub trait TmWorld: HasTm + HasUstm + HasTl2 + Send {}
 impl<T: HasTm + HasUstm + HasTl2 + Send> TmWorld for T {}
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,9 +396,11 @@ mod tests {
 
     #[test]
     fn stats_accumulate() {
-        let mut s = HybridStats::default();
-        s.hw_commits = 3;
-        s.sw_commits = 2;
+        let mut s = HybridStats {
+            hw_commits: 3,
+            sw_commits: 2,
+            ..Default::default()
+        };
         s.record_failover(AbortReason::Overflow);
         s.record_failover(AbortReason::Overflow);
         s.forced_failovers = 1;

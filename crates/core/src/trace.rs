@@ -5,7 +5,26 @@
 //! hardware-simulator study pores over. Host-side only: recording charges
 //! no simulated cycles and cannot perturb results.
 
-use ufotm_machine::AbortReason;
+use ufotm_machine::{AbortReason, ChaosFaultKind};
+
+/// Which degradation tier the progress watchdog escalated to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EscalationTier {
+    /// Give up on hardware for this transaction; run it in the STM.
+    Software,
+    /// Give up on optimistic execution entirely; run serial-irrevocably
+    /// under the global lock.
+    Serial,
+}
+
+impl std::fmt::Display for EscalationTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EscalationTier::Software => f.write_str("software"),
+            EscalationTier::Serial => f.write_str("serial"),
+        }
+    }
+}
 
 /// What happened.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,6 +45,14 @@ pub enum TraceKind {
     SwAbort,
     /// The transaction committed under the global lock / serially.
     PlainCommit,
+    /// The chaos engine injected this fault (drained from the machine's
+    /// journal; timestamped with the machine-side injection cycle).
+    FaultInjected(ChaosFaultKind),
+    /// The progress watchdog escalated this transaction to a stronger tier.
+    WatchdogEscalation(EscalationTier),
+    /// The transaction entered serial-irrevocable execution (watchdog's
+    /// last tier: global lock + strong-atomicity-aware plain accesses).
+    SerialIrrevocable,
 }
 
 impl std::fmt::Display for TraceKind {
@@ -39,6 +66,9 @@ impl std::fmt::Display for TraceKind {
             TraceKind::SwCommit => f.write_str("sw-commit"),
             TraceKind::SwAbort => f.write_str("sw-abort"),
             TraceKind::PlainCommit => f.write_str("plain-commit"),
+            TraceKind::FaultInjected(k) => write!(f, "fault-injected({k})"),
+            TraceKind::WatchdogEscalation(t) => write!(f, "watchdog-escalation({t})"),
+            TraceKind::SerialIrrevocable => f.write_str("serial-irrevocable"),
         }
     }
 }
@@ -100,8 +130,7 @@ impl TraceLog {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let cpus: std::collections::BTreeSet<usize> =
-            self.events.iter().map(|e| e.cpu).collect();
+        let cpus: std::collections::BTreeSet<usize> = self.events.iter().map(|e| e.cpu).collect();
         for cpu in cpus {
             let _ = writeln!(out, "cpu {cpu}:");
             for e in self.for_cpu(cpu) {

@@ -13,7 +13,7 @@
 use ufotm_machine::{AbortInfo, AbortReason, AccessError, Addr, BtmEvent};
 use ufotm_sim::Ctx;
 use ufotm_tl2::{Tl2Abort, Tl2Txn};
-use ufotm_ustm::{retry_wait, Perm, UstmAbort, UstmTxn};
+use ufotm_ustm::{nont_load, nont_store, retry_wait, Perm, UstmAbort, UstmTxn};
 
 use crate::policy::{BtmUfoFaultPolicy, HybridPolicy};
 use crate::shared::TmWorld;
@@ -50,6 +50,12 @@ impl std::fmt::Display for TxAbort {
 pub(crate) enum Mode<'a> {
     /// Plain accesses (sequential or under the global lock).
     Plain,
+    /// Serial-irrevocable execution under the global lock (the watchdog's
+    /// last tier). Accesses are strong-atomicity-aware non-transactional
+    /// operations: a UFO fault runs the USTM fault handler (waking/killing
+    /// conflicting software transactions per policy) instead of panicking,
+    /// so this mode is safe while other CPUs still run optimistically.
+    Serial,
     /// A BTM hardware transaction; `hytm` adds HyTM's otable checks.
     Hw {
         /// Instrument with transactional otable lookups (HyTM).
@@ -78,7 +84,12 @@ pub struct Tx<'a> {
 }
 
 impl<'a> Tx<'a> {
-    pub(crate) fn new(cpu: usize, mode: Mode<'a>, policy: HybridPolicy, alloc_budget: &'a mut u32) -> Self {
+    pub(crate) fn new(
+        cpu: usize,
+        mode: Mode<'a>,
+        policy: HybridPolicy,
+        alloc_budget: &'a mut u32,
+    ) -> Self {
         Tx {
             cpu,
             mode,
@@ -111,6 +122,7 @@ impl<'a> Tx<'a> {
     pub fn read<U: TmWorld>(&mut self, ctx: &mut Ctx<U>, addr: Addr) -> Result<u64, TxAbort> {
         let hytm = match &mut self.mode {
             Mode::Plain => return Ok(plain_load(ctx, addr)),
+            Mode::Serial => return Ok(nont_load(ctx, addr)),
             Mode::Ustm(t) => return t.read(ctx, addr).map_err(TxAbort::Stm),
             Mode::Tl2(t) => return t.read(ctx, addr).map_err(TxAbort::Tl2),
             Mode::Hw { hytm } => *hytm,
@@ -135,6 +147,10 @@ impl<'a> Tx<'a> {
         let hytm = match &mut self.mode {
             Mode::Plain => {
                 plain_store(ctx, addr, value);
+                return Ok(());
+            }
+            Mode::Serial => {
+                nont_store(ctx, addr, value);
                 return Ok(());
             }
             Mode::Ustm(t) => return t.write(ctx, addr, value).map_err(TxAbort::Stm),
@@ -293,6 +309,10 @@ impl<'a> Tx<'a> {
                 Err(TxAbort::RetryRequested)
             }
             Mode::Plain => panic!("retry is meaningless without transactions"),
+            Mode::Serial => panic!(
+                "retry cannot be honoured in serial-irrevocable mode \
+                 (the watchdog never escalates retry-parked transactions)"
+            ),
         }
     }
 
@@ -441,7 +461,8 @@ fn plain_load<U: TmWorld>(ctx: &mut Ctx<U>, addr: Addr) -> u64 {
 
 fn plain_store<U: TmWorld>(ctx: &mut Ctx<U>, addr: Addr, value: u64) {
     let cpu = ctx.cpu();
-    ctx.with(|w| w.machine.store(cpu, addr, value)).expect("plain store");
+    ctx.with(|w| w.machine.store(cpu, addr, value))
+        .expect("plain store");
 }
 
 /// HyTM's instrumented barrier: a *transactional* otable lookup before the

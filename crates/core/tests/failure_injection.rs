@@ -53,7 +53,9 @@ fn demand_paging_hybrid_resolves_page_faults_and_commits() {
     cfg.memory_words = 1 << 19; // keep the page count manageable
     let shared = TmShared::standard(SystemKind::UfoHybrid, &cfg);
     let mut machine = Machine::new(cfg);
-    machine.enable_swap(SwapConfig { max_resident_pages: 64 });
+    machine.enable_swap(SwapConfig {
+        max_resident_pages: 64,
+    });
     let r = Sim::new(machine, shared).run(
         (0..2)
             .map(|cpu| -> ThreadFn<TmShared> {
@@ -116,7 +118,9 @@ fn paging_plus_interrupts_plus_contention() {
     cfg.timer_quantum = Some(8_000);
     let shared = TmShared::standard(SystemKind::UfoHybrid, &cfg);
     let mut machine = Machine::new(cfg);
-    machine.enable_swap(SwapConfig { max_resident_pages: 48 });
+    machine.enable_swap(SwapConfig {
+        max_resident_pages: 48,
+    });
     let r = Sim::new(machine, shared).run(
         (0..3)
             .map(|cpu| -> ThreadFn<TmShared> {
@@ -138,5 +142,9 @@ fn paging_plus_interrupts_plus_contention() {
             })
             .collect(),
     );
-    assert_eq!(r.machine.peek(COUNTER), 45, "atomicity under combined failure modes");
+    assert_eq!(
+        r.machine.peek(COUNTER),
+        45,
+        "atomicity under combined failure modes"
+    );
 }

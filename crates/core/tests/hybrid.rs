@@ -72,14 +72,22 @@ fn every_system_counts_correctly_under_contention() {
 #[test]
 fn sequential_baseline_counts() {
     let cfg = machine_for(SystemKind::Sequential, 1);
-    let r = run_threads(SystemKind::Sequential, cfg, counter_bodies(SystemKind::Sequential, 1, 50));
+    let r = run_threads(
+        SystemKind::Sequential,
+        cfg,
+        counter_bodies(SystemKind::Sequential, 1, 50),
+    );
     assert_eq!(r.machine.peek(COUNTER), 50);
 }
 
 #[test]
 fn ufo_hybrid_commits_small_txns_in_hardware() {
     let cfg = machine_for(SystemKind::UfoHybrid, 2);
-    let r = run_threads(SystemKind::UfoHybrid, cfg, counter_bodies(SystemKind::UfoHybrid, 2, 25));
+    let r = run_threads(
+        SystemKind::UfoHybrid,
+        cfg,
+        counter_bodies(SystemKind::UfoHybrid, 2, 25),
+    );
     assert_eq!(r.machine.peek(COUNTER), 50);
     assert_eq!(r.shared.stats.hw_commits, 50, "everything fits in hardware");
     assert_eq!(r.shared.stats.sw_commits, 0);
@@ -107,7 +115,11 @@ fn ufo_hybrid_fails_over_on_cache_overflow() {
     assert_eq!(r.shared.stats.sw_commits, 1, "must fail over to USTM");
     assert_eq!(r.shared.stats.hw_commits, 0);
     assert_eq!(
-        r.shared.stats.failovers.get(&AbortReason::Overflow).copied(),
+        r.shared
+            .stats
+            .failovers
+            .get(&AbortReason::Overflow)
+            .copied(),
         Some(1)
     );
     for i in 0..32u64 {
@@ -135,7 +147,10 @@ fn unbounded_htm_runs_large_txns_in_hardware() {
     );
     assert_eq!(r.shared.stats.hw_commits, 1);
     assert_eq!(r.shared.stats.sw_commits, 0);
-    assert_eq!(r.machine.stats().aggregate().aborts(AbortReason::Overflow), 0);
+    assert_eq!(
+        r.machine.stats().aggregate().aborts(AbortReason::Overflow),
+        0
+    );
 }
 
 #[test]
@@ -155,7 +170,10 @@ fn hybrid_io_fails_over() {
         })],
     );
     assert_eq!(r.shared.stats.sw_commits, 1);
-    assert_eq!(r.shared.stats.failovers.get(&AbortReason::Io).copied(), Some(1));
+    assert_eq!(
+        r.shared.stats.failovers.get(&AbortReason::Io).copied(),
+        Some(1)
+    );
     assert_eq!(r.machine.peek(COUNTER), 2);
 }
 
@@ -187,7 +205,11 @@ fn alloc_pool_refill_fails_over_and_allocations_survive() {
     // The very first allocation triggers a pool refill (budget starts at 1),
     // which in hardware is a syscall failover.
     assert!(r.shared.stats.sw_commits >= 1, "first alloc fails over");
-    assert_eq!(r.shared.heap.live_allocations(), 5, "no leaks, no lost allocs");
+    assert_eq!(
+        r.shared.heap.live_allocations(),
+        5,
+        "no leaks, no lost allocs"
+    );
     assert!(r.shared.stats.alloc_syscalls >= 1);
 }
 
@@ -439,7 +461,11 @@ fn requester_wins_cm_still_correct() {
     use ufotm_machine::HwCmPolicy;
     let mut cfg = machine_for(SystemKind::UfoHybrid, 4);
     cfg.hw_cm = HwCmPolicy::RequesterWins;
-    let r = run_threads(SystemKind::UfoHybrid, cfg, counter_bodies(SystemKind::UfoHybrid, 4, 15));
+    let r = run_threads(
+        SystemKind::UfoHybrid,
+        cfg,
+        counter_bodies(SystemKind::UfoHybrid, 4, 15),
+    );
     assert_eq!(r.machine.peek(COUNTER), 60);
 }
 

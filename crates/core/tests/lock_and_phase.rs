@@ -69,7 +69,10 @@ fn phtm_counters_return_to_zero() {
     );
     assert_eq!(r.shared.phtm.stm_count, 0, "stm phase counter must drain");
     assert_eq!(r.shared.phtm.must_count, 0, "must counter must drain");
-    assert!(r.shared.stats.sw_commits > 0, "overflows must have gone to software");
+    assert!(
+        r.shared.stats.sw_commits > 0,
+        "overflows must have gone to software"
+    );
     assert_eq!(r.shared.stats.total_commits(), 16);
 }
 

@@ -47,7 +47,11 @@ fn mode_predicates_match_kind() {
 
 #[test]
 fn syscall_is_free_in_software_modes() {
-    for kind in [SystemKind::UstmWeak, SystemKind::Tl2, SystemKind::GlobalLock] {
+    for kind in [
+        SystemKind::UstmWeak,
+        SystemKind::Tl2,
+        SystemKind::GlobalLock,
+    ] {
         let r = run_one(kind, |t, ctx| {
             t.transaction(ctx, |tx, ctx| {
                 tx.write(ctx, Addr(0), 1)?;
@@ -57,7 +61,11 @@ fn syscall_is_free_in_software_modes() {
         });
         assert_eq!(r.machine.peek(Addr(0)), 1, "{kind}");
         assert_eq!(r.machine.peek(Addr(8)), 2, "{kind}");
-        assert_eq!(r.machine.stats().aggregate().aborts(AbortReason::Syscall), 0, "{kind}");
+        assert_eq!(
+            r.machine.stats().aggregate().aborts(AbortReason::Syscall),
+            0,
+            "{kind}"
+        );
     }
 }
 
@@ -131,7 +139,11 @@ fn stats_split_hw_and_sw_commits() {
 fn deferred_actions_run_exactly_once_after_commit() {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
-    for kind in [SystemKind::UfoHybrid, SystemKind::UstmStrong, SystemKind::GlobalLock] {
+    for kind in [
+        SystemKind::UfoHybrid,
+        SystemKind::UstmStrong,
+        SystemKind::GlobalLock,
+    ] {
         let fired = Arc::new(AtomicU64::new(0));
         let f = Arc::clone(&fired);
         let r = run_one(kind, move |t, ctx| {
@@ -143,7 +155,11 @@ fn deferred_actions_run_exactly_once_after_commit() {
                 tx.write(ctx, Addr(0), 1)
             });
         });
-        assert_eq!(fired.load(Ordering::SeqCst), 1, "{kind}: deferred action count");
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            1,
+            "{kind}: deferred action count"
+        );
         assert_eq!(r.machine.peek(Addr(0)), 1);
     }
 }

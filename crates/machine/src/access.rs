@@ -10,6 +10,7 @@
 use crate::addr::{Addr, LineAddr};
 use crate::btm::{AbortInfo, AbortReason};
 use crate::cache::L1Insert;
+use crate::chaos::ChaosFaultKind;
 use crate::config::{HwCmPolicy, UfoKillPolicy};
 use crate::machine::{AccessError, AccessResult, CpuId, Machine};
 use crate::ufo::{UfoBits, UfoFaultKind};
@@ -61,7 +62,11 @@ impl Machine {
         if self.ufo_enabled[cpu] && self.dir.ufo(line).faults_on(is_write) {
             self.charge(cpu, self.cfg.costs.fault_dispatch);
             self.stats.cpus[cpu].ufo_faults += 1;
-            let kind = if is_write { UfoFaultKind::Write } else { UfoFaultKind::Read };
+            let kind = if is_write {
+                UfoFaultKind::Write
+            } else {
+                UfoFaultKind::Read
+            };
             return Err(AccessError::UfoFault { addr, kind });
         }
 
@@ -148,6 +153,24 @@ impl Machine {
     /// (strong atomicity; the paper statically prioritizes software
     /// transactions — which issue plain accesses — over hardware ones).
     fn arbitrate(&mut self, cpu: CpuId, line: LineAddr, is_write: bool) -> AccessResult<()> {
+        // Chaos: nack a transactional request as if a remote cache were slow
+        // to respond. Only live-transaction requesters can be nacked — plain
+        // accesses have no retry path and must always succeed.
+        if self.btm[cpu].active
+            && self.btm[cpu].doomed.is_none()
+            && self.chaos_roll(ChaosFaultKind::CoherenceNack)
+        {
+            let responders = u64::from(self.dir.sharer_count(line)).max(1);
+            let delay = self
+                .chaos
+                .as_ref()
+                .map_or(0, |c| c.plan.nack_delay)
+                .saturating_mul(responders);
+            self.charge(cpu, self.cfg.costs.nack_retry + delay);
+            self.stats.cpus[cpu].nacks += 1;
+            self.chaos_record(cpu, ChaosFaultKind::CoherenceNack);
+            return Err(AccessError::Nacked);
+        }
         let conflictors: Vec<CpuId> = (0..self.cfg.cpus)
             .filter(|&o| o != cpu)
             .filter(|&o| {
@@ -180,7 +203,10 @@ impl Machine {
             }
         } else {
             for o in conflictors {
-                self.doom(o, AbortInfo::at(AbortReason::NonTConflict, line.base_addr()));
+                self.doom(
+                    o,
+                    AbortInfo::at(AbortReason::NonTConflict, line.base_addr()),
+                );
             }
         }
         Ok(())
@@ -192,6 +218,21 @@ impl Machine {
     /// idealized overflow structure (its conflict tracking lives in the BTM
     /// read/write sets, so correctness is unaffected).
     fn fill(&mut self, cpu: CpuId, line: LineAddr, transfer: bool) -> AccessResult<()> {
+        // Chaos: force a capacity eviction of a speculative line, as if
+        // unrelated fills had crowded its set. The unbounded model spills
+        // instead of aborting, so it is exempt.
+        if !self.cfg.btm_unbounded
+            && self.btm[cpu].active
+            && self.btm[cpu].doomed.is_none()
+            && self.chaos_roll(ChaosFaultKind::ForcedEviction)
+        {
+            if let Some(victim) = self.l1[cpu].lru_spec_victim() {
+                self.chaos_record(cpu, ChaosFaultKind::ForcedEviction);
+                let info = AbortInfo::at(AbortReason::Overflow, victim.base_addr());
+                self.finalize_abort(cpu, info);
+                return Err(AccessError::TxnAbort(info));
+            }
+        }
         self.stats.cpus[cpu].l1_misses += 1;
         let l2_hit = self.l2.access(line);
         if transfer {
@@ -251,6 +292,23 @@ impl Machine {
         }
         self.page_in_if_needed(cpu, addr)?;
         let line = addr.line();
+
+        // Chaos: the bit-set's coherence transaction transiently fails and
+        // is retried in hardware for 1–3 rounds before succeeding. The
+        // failure is invisible except in time; the update below proceeds.
+        let mut retry_delay = 0;
+        if let Some(c) = &mut self.chaos {
+            if c.plan.ufo_set_failure > 0.0 && c.rng.gen_bool(c.plan.ufo_set_failure) {
+                retry_delay = c
+                    .plan
+                    .ufo_retry_cycles
+                    .saturating_mul(c.rng.gen_range(1..4));
+            }
+        }
+        if retry_delay > 0 {
+            self.charge(cpu, retry_delay);
+            self.chaos_record(cpu, ChaosFaultKind::UfoSetRetry);
+        }
 
         // §4.3's proposed coherence change: a set that adds no fault-on-read
         // (read-barrier protection, or a clear) may be published "in the
@@ -432,11 +490,14 @@ mod tests {
             AccessError::TxnAbort(info) => assert_eq!(info.reason, AbortReason::Overflow),
             other => panic!("{other:?}"),
         }
-        assert_eq!(m.btm_status(0), BtmStatus {
-            in_txn: false,
-            depth: 0,
-            last_abort: m.btm_status(0).last_abort,
-        });
+        assert_eq!(
+            m.btm_status(0),
+            BtmStatus {
+                in_txn: false,
+                depth: 0,
+                last_abort: m.btm_status(0).last_abort,
+            }
+        );
     }
 
     #[test]
@@ -446,7 +507,7 @@ mod tests {
         m.load(0, word(0)).unwrap();
         m.load(0, word(4 * 8)).unwrap();
         m.load(0, word(8 * 8)).unwrap(); // spills line 0 (LRU spec victim)
-        // A plain store by CPU 1 to the spilled line still kills the txn.
+                                         // A plain store by CPU 1 to the spilled line still kills the txn.
         m.store(1, word(0), 5).unwrap();
         assert!(matches!(m.load(0, word(0)), Err(AccessError::TxnAbort(_))));
     }
@@ -480,7 +541,10 @@ mod tests {
         // Same line, write: also faults.
         assert!(matches!(
             m.store(1, a, 1),
-            Err(AccessError::UfoFault { kind: UfoFaultKind::Write, .. })
+            Err(AccessError::UfoFault {
+                kind: UfoFaultKind::Write,
+                ..
+            })
         ));
         // With faults disabled, the access sails through.
         m.set_ufo_enabled(1, false);
@@ -564,7 +628,9 @@ mod tests {
     fn set_ufo_inside_txn_is_illegal() {
         let mut m = Machine::new(MachineConfig::small(1));
         m.btm_begin(0).unwrap();
-        let err = m.set_ufo_bits(0, word(0), UfoBits::FAULT_ON_WRITE).unwrap_err();
+        let err = m
+            .set_ufo_bits(0, word(0), UfoBits::FAULT_ON_WRITE)
+            .unwrap_err();
         match err {
             AccessError::TxnAbort(info) => assert_eq!(info.reason, AbortReason::IllegalOp),
             other => panic!("{other:?}"),

@@ -32,7 +32,10 @@ impl fmt::Display for AllocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AllocError::OutOfMemory { requested_words } => {
-                write!(f, "out of simulated memory (requested {requested_words} words)")
+                write!(
+                    f,
+                    "out of simulated memory (requested {requested_words} words)"
+                )
             }
             AllocError::InvalidFree { addr } => write!(f, "invalid free of {addr}"),
         }
@@ -114,7 +117,10 @@ impl SimAlloc {
     /// Panics if `words` is zero or `align_words` is not a power of two.
     pub fn alloc_aligned(&mut self, words: u64, align_words: u64) -> Result<Addr, AllocError> {
         assert!(words > 0, "zero-size allocation");
-        assert!(align_words.is_power_of_two(), "alignment must be a power of two");
+        assert!(
+            align_words.is_power_of_two(),
+            "alignment must be a power of two"
+        );
         for i in 0..self.free.len() {
             let (start, len) = self.free[i];
             let aligned = start.next_multiple_of(align_words);
@@ -136,7 +142,9 @@ impl SimAlloc {
             self.sizes.insert(aligned, words);
             return Ok(Addr::from_word_index(aligned));
         }
-        Err(AllocError::OutOfMemory { requested_words: words })
+        Err(AllocError::OutOfMemory {
+            requested_words: words,
+        })
     }
 
     /// Frees a previous allocation, coalescing with neighbours.

@@ -50,6 +50,10 @@ pub enum AbortReason {
     DepthOverflow,
     /// An illegal operation was executed transactionally.
     IllegalOp,
+    /// A chaos-injected spurious abort (fault injection only; the modelled
+    /// hardware never raises this by itself). Transient by construction, so
+    /// classified as recoverable.
+    Spurious,
 }
 
 impl AbortReason {
@@ -79,11 +83,24 @@ impl AbortReason {
 
     /// All reasons, in a stable order (for stats tables).
     #[must_use]
-    pub const fn all() -> [AbortReason; 14] {
+    pub const fn all() -> [AbortReason; 15] {
         use AbortReason::*;
         [
-            Conflict, NonTConflict, UfoSet, UfoFault, Overflow, Explicit, Interrupt, Syscall,
-            Io, Uncacheable, Exception, PageFault, DepthOverflow, IllegalOp,
+            Conflict,
+            NonTConflict,
+            UfoSet,
+            UfoFault,
+            Overflow,
+            Explicit,
+            Interrupt,
+            Syscall,
+            Io,
+            Uncacheable,
+            Exception,
+            PageFault,
+            DepthOverflow,
+            IllegalOp,
+            Spurious,
         ]
     }
 }
@@ -105,6 +122,7 @@ impl fmt::Display for AbortReason {
             AbortReason::PageFault => "page-fault",
             AbortReason::DepthOverflow => "depth-overflow",
             AbortReason::IllegalOp => "illegal-op",
+            AbortReason::Spurious => "spurious",
         };
         f.write_str(s)
     }
@@ -130,7 +148,10 @@ impl AbortInfo {
     /// An abort with an associated faulting address.
     #[must_use]
     pub const fn at(reason: AbortReason, addr: Addr) -> Self {
-        AbortInfo { reason, addr: Some(addr) }
+        AbortInfo {
+            reason,
+            addr: Some(addr),
+        }
     }
 }
 
@@ -209,7 +230,9 @@ pub(crate) struct BtmCpu {
 impl BtmCpu {
     /// Whether this CPU holds `line` speculatively in a live transaction.
     pub fn holds_spec(&self, line: LineAddr) -> bool {
-        self.active && self.doomed.is_none() && (self.read_set.contains(&line) || self.write_set.contains(&line))
+        self.active
+            && self.doomed.is_none()
+            && (self.read_set.contains(&line) || self.write_set.contains(&line))
     }
 
     /// Whether this CPU speculatively wrote `line` in a live transaction.
@@ -244,11 +267,27 @@ mod tests {
     #[test]
     fn failover_classification_matches_algorithm3() {
         use AbortReason::*;
-        for r in [Overflow, Syscall, Io, Exception, Uncacheable, DepthOverflow, IllegalOp] {
+        for r in [
+            Overflow,
+            Syscall,
+            Io,
+            Exception,
+            Uncacheable,
+            DepthOverflow,
+            IllegalOp,
+        ] {
             assert!(r.is_failover(), "{r} should fail over");
             assert!(!r.is_recoverable());
         }
-        for r in [Conflict, NonTConflict, UfoSet, UfoFault, Interrupt, PageFault] {
+        for r in [
+            Conflict,
+            NonTConflict,
+            UfoSet,
+            UfoFault,
+            Interrupt,
+            PageFault,
+            Spurious,
+        ] {
             assert!(!r.is_failover(), "{r} should not fail over");
             assert!(r.is_recoverable(), "{r} should be recoverable");
         }
@@ -257,7 +296,10 @@ mod tests {
 
     #[test]
     fn abort_info_display() {
-        assert_eq!(AbortInfo::new(AbortReason::Overflow).to_string(), "overflow");
+        assert_eq!(
+            AbortInfo::new(AbortReason::Overflow).to_string(),
+            "overflow"
+        );
         assert_eq!(
             AbortInfo::at(AbortReason::PageFault, Addr(0x40)).to_string(),
             "page-fault @ 0x40"
@@ -266,8 +308,10 @@ mod tests {
 
     #[test]
     fn btm_cpu_holds_and_reset() {
-        let mut b = BtmCpu::default();
-        b.active = true;
+        let mut b = BtmCpu {
+            active: true,
+            ..Default::default()
+        };
         b.read_set.insert(LineAddr(3));
         b.write_set.insert(LineAddr(4));
         assert!(b.holds_spec(LineAddr(3)));

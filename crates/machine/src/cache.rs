@@ -23,7 +23,10 @@ impl CacheGeometry {
     /// Panics if `sets` is not a power of two or either argument is zero.
     #[must_use]
     pub fn new(sets: usize, ways: usize) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "ways must be nonzero");
         CacheGeometry { sets, ways }
     }
@@ -112,11 +115,15 @@ impl L1Cache {
 
     /// Whether the line is resident.
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.sets[self.geo.set_of(line)].iter().any(|e| e.line == line)
+        self.sets[self.geo.set_of(line)]
+            .iter()
+            .any(|e| e.line == line)
     }
 
     pub fn entry(&self, line: LineAddr) -> Option<&L1Entry> {
-        self.sets[self.geo.set_of(line)].iter().find(|e| e.line == line)
+        self.sets[self.geo.set_of(line)]
+            .iter()
+            .find(|e| e.line == line)
     }
 
     pub fn entry_mut(&mut self, line: LineAddr) -> Option<&mut L1Entry> {
@@ -148,7 +155,13 @@ impl L1Cache {
             e.lru = t;
             return L1Insert::Done;
         }
-        let entry = L1Entry { line, dirty: false, sr: false, sw: false, lru: t };
+        let entry = L1Entry {
+            line,
+            dirty: false,
+            sr: false,
+            sw: false,
+            lru: t,
+        };
         if self.sets[set].len() < self.geo.ways() {
             self.sets[set].push(entry);
             return L1Insert::Done;
@@ -163,7 +176,10 @@ impl L1Cache {
         if let Some(i) = victim_idx {
             let victim = self.sets[set][i];
             self.sets[set][i] = entry;
-            return L1Insert::Evicted { victim: victim.line, dirty: victim.dirty };
+            return L1Insert::Evicted {
+                victim: victim.line,
+                dirty: victim.dirty,
+            };
         }
         // All ways hold speculative lines.
         let (i, _) = self.sets[set]
@@ -173,7 +189,10 @@ impl L1Cache {
             .expect("set has at least one way");
         let victim = self.sets[set][i];
         self.sets[set][i] = entry;
-        L1Insert::WouldOverflow { victim: victim.line, dirty: victim.dirty }
+        L1Insert::WouldOverflow {
+            victim: victim.line,
+            dirty: victim.dirty,
+        }
     }
 
     /// Removes a line (coherence invalidation), returning its entry.
@@ -202,6 +221,17 @@ impl L1Cache {
                 e.sr = false;
             }
         }
+    }
+
+    /// The least-recently-used speculative line, if any (the chaos engine's
+    /// forced-eviction victim picker).
+    pub fn lru_spec_victim(&self) -> Option<LineAddr> {
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|e| e.sr || e.sw)
+            .min_by_key(|e| e.lru)
+            .map(|e| e.line)
     }
 
     /// Number of resident lines (for tests and stats).

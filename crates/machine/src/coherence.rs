@@ -32,7 +32,10 @@ pub(crate) struct Directory {
 impl Directory {
     pub fn new(lines: u64) -> Self {
         Directory {
-            lines: vec![LineState::default(); usize::try_from(lines).expect("line count fits usize")],
+            lines: vec![
+                LineState::default();
+                usize::try_from(lines).expect("line count fits usize")
+            ],
         }
     }
 
@@ -59,6 +62,12 @@ impl Directory {
     /// Whether `cpu` holds the line (in any state).
     pub fn is_sharer(&self, line: LineAddr, cpu: usize) -> bool {
         self.state(line).sharers & (1 << cpu) != 0
+    }
+
+    /// Number of CPUs holding the line (the chaos engine scales injected
+    /// nack delays by how many caches would have had to respond).
+    pub fn sharer_count(&self, line: LineAddr) -> u32 {
+        self.state(line).sharers.count_ones()
     }
 
     /// Records `cpu` as a (non-exclusive) sharer; demotes any owner flag if

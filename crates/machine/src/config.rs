@@ -7,6 +7,7 @@
 //! are what the paper's results depend on.
 
 use crate::cache::CacheGeometry;
+use crate::chaos::FaultPlan;
 
 /// Latencies (in cycles) charged to a CPU's local clock by each operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -141,6 +142,8 @@ pub struct MachineConfig {
     /// exclusive permission — remote cached copies survive, so speculative
     /// *readers* of the line are no longer killed by false conflicts.
     pub ufo_owner_state_sets: bool,
+    /// Seeded fault-injection plan (chaos engine); `None` injects nothing.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl MachineConfig {
@@ -154,8 +157,8 @@ impl MachineConfig {
         assert!((1..=64).contains(&cpus), "cpus must be in 1..=64");
         MachineConfig {
             cpus,
-            memory_words: 1 << 22, // 32 MiB of simulated data
-            l1: CacheGeometry::new(128, 4), // 32 KiB, 4-way, 64 B lines
+            memory_words: 1 << 22,           // 32 MiB of simulated data
+            l1: CacheGeometry::new(128, 4),  // 32 KiB, 4-way, 64 B lines
             l2: CacheGeometry::new(2048, 8), // 1 MiB, 8-way
             costs: CostModel::table4(),
             timer_quantum: Some(200_000),
@@ -164,6 +167,7 @@ impl MachineConfig {
             ufo_kill_policy: UfoKillPolicy::AllSpeculativeHolders,
             hw_cm: HwCmPolicy::AgeOrdered,
             ufo_owner_state_sets: false,
+            fault_plan: None,
         }
     }
 
@@ -188,6 +192,7 @@ impl MachineConfig {
             ufo_kill_policy: UfoKillPolicy::AllSpeculativeHolders,
             hw_cm: HwCmPolicy::AgeOrdered,
             ufo_owner_state_sets: false,
+            fault_plan: None,
         }
     }
 
@@ -196,6 +201,13 @@ impl MachineConfig {
     #[must_use]
     pub fn unbounded(mut self) -> Self {
         self.btm_unbounded = true;
+        self
+    }
+
+    /// Returns this configuration with a fault-injection plan installed.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 

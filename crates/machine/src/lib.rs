@@ -52,20 +52,26 @@ mod addr;
 mod alloc;
 mod btm;
 mod cache;
-mod config;
+mod chaos;
 mod coherence;
+mod config;
 mod machine;
 mod mem;
+mod rng;
 mod stats;
 mod swap;
 mod ufo;
 
-pub use addr::{Addr, LineAddr, PageAddr, LINE_BYTES, LINE_WORDS, PAGE_BYTES, PAGE_LINES, WORD_BYTES};
+pub use addr::{
+    Addr, LineAddr, PageAddr, LINE_BYTES, LINE_WORDS, PAGE_BYTES, PAGE_LINES, WORD_BYTES,
+};
 pub use alloc::{AllocError, SimAlloc};
 pub use btm::{AbortInfo, AbortReason, BtmEvent, BtmStatus};
 pub use cache::CacheGeometry;
+pub use chaos::{ChaosEvent, ChaosFaultKind, ChaosStats, FaultPlan};
 pub use config::{CostModel, HwCmPolicy, MachineConfig, UfoKillPolicy};
 pub use machine::{AccessError, AccessResult, CpuId, Machine};
+pub use rng::{splitmix64, SimRng};
 pub use stats::{CpuStats, MachineStats};
 pub use swap::{SwapConfig, SwapStats};
 pub use ufo::{UfoBits, UfoFaultKind};

@@ -11,6 +11,7 @@ use std::fmt;
 use crate::addr::Addr;
 use crate::btm::{AbortInfo, AbortReason, BtmCpu, BtmEvent, BtmStatus};
 use crate::cache::{L1Cache, L2Cache};
+use crate::chaos::{ChaosFaultKind, ChaosState};
 use crate::coherence::Directory;
 use crate::config::MachineConfig;
 use crate::mem::MemImage;
@@ -74,6 +75,7 @@ pub struct Machine {
     pub(crate) txn_seq: u64,
     pub(crate) stats: MachineStats,
     pub(crate) swap: Option<SwapState>,
+    pub(crate) chaos: Option<ChaosState>,
 }
 
 impl fmt::Debug for Machine {
@@ -104,6 +106,7 @@ impl Machine {
             txn_seq: 0,
             stats: MachineStats::new(cpus),
             swap: None,
+            chaos: cfg.fault_plan.map(ChaosState::new),
             cfg,
         }
     }
@@ -143,6 +146,9 @@ impl Machine {
         self.stats = MachineStats::new(self.cfg.cpus);
         if let Some(s) = &mut self.swap {
             s.reset_stats();
+        }
+        if let Some(c) = &mut self.chaos {
+            c.stats = crate::ChaosStats::default();
         }
     }
 
@@ -187,6 +193,15 @@ impl Machine {
                     self.btm[cpu].doomed = Some(AbortInfo::new(AbortReason::Interrupt));
                 }
             }
+        }
+        // Chaos: spuriously doom a live transaction at this instruction
+        // boundary; the pending-doom path below finalizes it normally.
+        if self.btm[cpu].active
+            && self.btm[cpu].doomed.is_none()
+            && self.chaos_roll(ChaosFaultKind::SpuriousAbort)
+        {
+            self.btm[cpu].doomed = Some(AbortInfo::new(AbortReason::Spurious));
+            self.chaos_record(cpu, ChaosFaultKind::SpuriousAbort);
         }
         if self.btm[cpu].active {
             if let Some(info) = self.btm[cpu].doomed {
@@ -448,7 +463,9 @@ impl Machine {
             }
             let b = &self.btm[cpu];
             if !b.active {
-                assert!(b.spec_writes.is_empty() && b.read_set.is_empty() && b.write_set.is_empty());
+                assert!(
+                    b.spec_writes.is_empty() && b.read_set.is_empty() && b.write_set.is_empty()
+                );
             } else {
                 for &word in b.spec_writes.keys() {
                     let line = Addr::from_word_index(word).line();
@@ -512,7 +529,10 @@ mod tests {
         assert_eq!(info.reason, AbortReason::Explicit);
         assert_eq!(m.peek(a), 1);
         assert_eq!(m.load(0, a).unwrap(), 1);
-        assert_eq!(m.btm_status(0).last_abort.unwrap().reason, AbortReason::Explicit);
+        assert_eq!(
+            m.btm_status(0).last_abort.unwrap().reason,
+            AbortReason::Explicit
+        );
         assert!(!m.btm_status(0).in_txn);
     }
 
@@ -551,7 +571,10 @@ mod tests {
         m.btm_event(0, BtmEvent::Syscall).unwrap();
         m.btm_begin(0).unwrap();
         let err = m.btm_event(0, BtmEvent::Syscall).unwrap_err();
-        assert_eq!(err, AccessError::TxnAbort(AbortInfo::new(AbortReason::Syscall)));
+        assert_eq!(
+            err,
+            AccessError::TxnAbort(AbortInfo::new(AbortReason::Syscall))
+        );
     }
 
     #[test]
@@ -562,7 +585,10 @@ mod tests {
         m.btm_begin(0).unwrap();
         m.work(0, 2_000).unwrap(); // crosses the quantum boundary
         let err = m.work(0, 1).unwrap_err();
-        assert_eq!(err, AccessError::TxnAbort(AbortInfo::new(AbortReason::Interrupt)));
+        assert_eq!(
+            err,
+            AccessError::TxnAbort(AbortInfo::new(AbortReason::Interrupt))
+        );
         assert!(m.stats().cpus[0].interrupts >= 1);
     }
 

@@ -52,7 +52,10 @@ pub(crate) struct SwapState {
 
 impl SwapState {
     fn new(cfg: SwapConfig) -> Self {
-        assert!(cfg.max_resident_pages >= 1, "need at least one resident page");
+        assert!(
+            cfg.max_resident_pages >= 1,
+            "need at least one resident page"
+        );
         SwapState {
             cfg,
             resident: HashMap::new(),
@@ -75,7 +78,10 @@ impl SwapState {
     }
 
     fn lru_victim(&self) -> Option<PageAddr> {
-        self.resident.iter().min_by_key(|&(p, &t)| (t, p.0)).map(|(&p, _)| p)
+        self.resident
+            .iter()
+            .min_by_key(|&(p, &t)| (t, p.0))
+            .map(|(&p, _)| p)
     }
 
     pub(crate) fn reset_stats(&mut self) {
@@ -103,7 +109,9 @@ impl Machine {
     /// Whether `page` is currently resident (always `true` with paging off).
     #[must_use]
     pub fn page_resident(&self, page: PageAddr) -> bool {
-        self.swap.as_ref().is_none_or(|s| s.resident.contains_key(&page))
+        self.swap
+            .as_ref()
+            .is_none_or(|s| s.resident.contains_key(&page))
     }
 
     /// Ensures the page containing `addr` is resident, evicting an LRU
@@ -114,7 +122,16 @@ impl Machine {
         };
         let page = addr.page();
         if swap.touch_resident(page) {
-            return Ok(());
+            // Chaos: swap thrash — the OS reclaims the page out from under
+            // the access, which then re-faults exactly like a cold miss
+            // (aborting an enclosing BTM transaction with a page fault).
+            if !self.chaos_roll(crate::ChaosFaultKind::SwapThrash) {
+                return Ok(());
+            }
+            self.chaos_record(cpu, crate::ChaosFaultKind::SwapThrash);
+            let mut s = self.swap.take().expect("swap present");
+            self.page_out(&mut s, cpu, page);
+            self.swap = Some(s);
         }
         if self.btm[cpu].active {
             let info = AbortInfo::at(AbortReason::PageFault, addr);
@@ -161,7 +178,10 @@ impl Machine {
             // Evict cached copies; speculative holders lose their lines.
             for o in 0..self.cfg.cpus {
                 if self.btm[o].holds_spec(line) {
-                    self.doom(o, AbortInfo::at(AbortReason::NonTConflict, line.base_addr()));
+                    self.doom(
+                        o,
+                        AbortInfo::at(AbortReason::NonTConflict, line.base_addr()),
+                    );
                 }
                 if self.dir.is_sharer(line, o) {
                     self.l1[o].invalidate(line);
@@ -196,7 +216,9 @@ mod tests {
         let mut cfg = MachineConfig::small(2);
         cfg.memory_words = 1 << 16; // 128 pages
         let mut m = Machine::new(cfg);
-        m.enable_swap(SwapConfig { max_resident_pages: max_pages });
+        m.enable_swap(SwapConfig {
+            max_resident_pages: max_pages,
+        });
         m
     }
 
@@ -226,19 +248,23 @@ mod tests {
     fn ufo_bits_survive_swap_round_trip() {
         let mut m = swap_machine(2);
         let protected = page_addr(0);
-        m.set_ufo_bits(0, protected, UfoBits::FAULT_ON_BOTH).unwrap();
+        m.set_ufo_bits(0, protected, UfoBits::FAULT_ON_BOTH)
+            .unwrap();
         // Force the protected page out and back in.
         m.load(0, page_addr(1)).unwrap();
         m.load(0, page_addr(2)).unwrap();
         assert!(!m.page_resident(protected.page()));
         assert_eq!(m.swap_stats().ufo_pages_saved, 1);
         m.set_ufo_enabled(1, true);
-        assert!(matches!(
-            m.store(1, protected, 1),
-            Err(AccessError::UfoFault { .. })
-        ), "protection must survive the swap round trip");
+        assert!(
+            matches!(m.store(1, protected, 1), Err(AccessError::UfoFault { .. })),
+            "protection must survive the swap round trip"
+        );
         assert_eq!(m.swap_stats().ufo_pages_restored, 1);
-        assert_eq!(m.read_ufo_bits(0, protected).unwrap(), UfoBits::FAULT_ON_BOTH);
+        assert_eq!(
+            m.read_ufo_bits(0, protected).unwrap(),
+            UfoBits::FAULT_ON_BOTH
+        );
     }
 
     #[test]
@@ -263,7 +289,8 @@ mod tests {
     #[test]
     fn all_clear_fast_path_counted_separately() {
         let mut m = swap_machine(1);
-        m.set_ufo_bits(0, page_addr(0), UfoBits::FAULT_ON_WRITE).unwrap();
+        m.set_ufo_bits(0, page_addr(0), UfoBits::FAULT_ON_WRITE)
+            .unwrap();
         m.load(0, page_addr(1)).unwrap(); // evicts protected page 0 (save)
         m.load(0, page_addr(2)).unwrap(); // evicts clean page 1 (fast path)
         let s = m.swap_stats();

@@ -84,7 +84,10 @@ impl BitOrAssign for UfoBits {
 
 impl fmt::Debug for UfoBits {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match (self.contains(Self::FAULT_ON_READ), self.contains(Self::FAULT_ON_WRITE)) {
+        match (
+            self.contains(Self::FAULT_ON_READ),
+            self.contains(Self::FAULT_ON_WRITE),
+        ) {
             (false, false) => write!(f, "UfoBits(none)"),
             (true, false) => write!(f, "UfoBits(for)"),
             (false, true) => write!(f, "UfoBits(fow)"),

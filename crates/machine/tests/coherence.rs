@@ -1,9 +1,7 @@
 //! Coherence-protocol edge cases: downgrades, invalidations, eviction
 //! interplay with UFO bits and speculative state.
 
-use ufotm_machine::{
-    AbortReason, AccessError, Addr, Machine, MachineConfig, UfoBits,
-};
+use ufotm_machine::{AbortReason, AccessError, Addr, Machine, MachineConfig, UfoBits};
 
 fn machine(cpus: usize) -> Machine {
     Machine::new(MachineConfig::small(cpus))
@@ -14,7 +12,7 @@ fn remote_read_downgrades_exclusive_owner() {
     let mut m = machine(2);
     m.store(0, Addr(0), 1).unwrap(); // cpu0 exclusive+dirty
     m.load(1, Addr(0)).unwrap(); // downgrade to shared
-    // Both can now read cheaply; a write must re-arbitrate.
+                                 // Both can now read cheaply; a write must re-arbitrate.
     let t0 = m.now(0);
     m.load(0, Addr(0)).unwrap();
     assert_eq!(m.now(0) - t0, MachineConfig::small(1).costs.l1_hit);
@@ -26,7 +24,7 @@ fn remote_read_downgrades_exclusive_owner() {
 #[test]
 fn writeback_preserves_data_across_eviction() {
     let mut m = machine(1); // 4 sets, 2 ways
-    // Dirty line 0, then evict it by filling set 0 (lines 0, 4, 8).
+                            // Dirty line 0, then evict it by filling set 0 (lines 0, 4, 8).
     m.store(0, Addr(0), 42).unwrap();
     m.load(0, Addr(4 * 64)).unwrap();
     m.load(0, Addr(8 * 64)).unwrap();
@@ -98,7 +96,7 @@ fn nont_load_of_spec_read_line_is_harmless() {
     let mut m = machine(2);
     m.btm_begin(0).unwrap();
     m.load(0, Addr(0)).unwrap(); // spec read
-    // A plain load elsewhere shares the line without killing the txn.
+                                 // A plain load elsewhere shares the line without killing the txn.
     m.load(1, Addr(0)).unwrap();
     m.btm_end(0).unwrap();
     assert_eq!(m.stats().aggregate().btm_commits, 1);
@@ -154,8 +152,8 @@ fn owner_state_ufo_sets_spare_speculative_readers() {
     let mut m = Machine::new(cfg);
     m.btm_begin(1).unwrap();
     m.load(1, Addr(0)).unwrap(); // speculative reader
-    // Read-barrier protection (fault-on-write only): published in the owner
-    // state — the reader survives and even keeps its cached copy.
+                                 // Read-barrier protection (fault-on-write only): published in the owner
+                                 // state — the reader survives and even keeps its cached copy.
     m.set_ufo_bits(0, Addr(0), UfoBits::FAULT_ON_WRITE).unwrap();
     let t = m.now(1);
     m.load(1, Addr(0)).unwrap();
@@ -167,7 +165,10 @@ fn owner_state_ufo_sets_spare_speculative_readers() {
     m.btm_end(1).unwrap();
     // The protection is still live for UFO-enabled writers.
     m.set_ufo_enabled(1, true);
-    assert!(matches!(m.store(1, Addr(0), 1), Err(AccessError::UfoFault { .. })));
+    assert!(matches!(
+        m.store(1, Addr(0), 1),
+        Err(AccessError::UfoFault { .. })
+    ));
     m.debug_validate();
 }
 

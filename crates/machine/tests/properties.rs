@@ -1,14 +1,14 @@
-//! Property-based tests of the machine model: random operation sequences
+//! Seed-sweep tests of the machine model: random operation sequences
 //! must match a simple reference memory, and internal cache/directory/BTM
-//! invariants must hold at every step.
+//! invariants must hold at every step. Failures print the seed; replay
+//! with `CHAOS_SEED=<n>`.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
-
 use ufotm_machine::{
-    AccessError, Addr, BtmEvent, Machine, MachineConfig, SwapConfig, UfoBits,
+    AccessError, Addr, BtmEvent, Machine, MachineConfig, SimRng, SwapConfig, UfoBits,
 };
+use ufotm_sim::{for_each_seed, seed_count};
 
 /// One scripted operation.
 #[derive(Clone, Debug)]
@@ -24,21 +24,43 @@ enum Op {
     EnableUfo { cpu: usize, on: bool },
 }
 
-fn op_strategy(cpus: usize, words: u64) -> impl Strategy<Value = Op> {
-    let c = 0..cpus;
-    let w = 0..words;
-    prop_oneof![
-        4 => (c.clone(), w.clone()).prop_map(|(cpu, word)| Op::Load { cpu, word }),
-        4 => (c.clone(), w.clone(), any::<u64>())
-            .prop_map(|(cpu, word, value)| Op::Store { cpu, word, value }),
-        2 => c.clone().prop_map(|cpu| Op::Begin { cpu }),
-        2 => c.clone().prop_map(|cpu| Op::End { cpu }),
-        1 => c.clone().prop_map(|cpu| Op::Abort { cpu }),
-        1 => (c.clone(), 0u64..200).prop_map(|(cpu, cycles)| Op::Work { cpu, cycles }),
-        1 => (c.clone(), w, 0u8..4).prop_map(|(cpu, word, bits)| Op::SetUfo { cpu, word, bits }),
-        1 => c.clone().prop_map(|cpu| Op::Event { cpu }),
-        1 => (c, any::<bool>()).prop_map(|(cpu, on)| Op::EnableUfo { cpu, on }),
-    ]
+/// Draws one op with the same weights the old proptest strategy used
+/// (loads/stores 4, begin/end 2, everything else 1).
+fn gen_op(rng: &mut SimRng, cpus: usize, words: u64) -> Op {
+    let cpu = rng.gen_index(0..cpus);
+    match rng.gen_range(0..17) {
+        0..=3 => Op::Load {
+            cpu,
+            word: rng.gen_range(0..words),
+        },
+        4..=7 => Op::Store {
+            cpu,
+            word: rng.gen_range(0..words),
+            value: rng.next_u64(),
+        },
+        8..=9 => Op::Begin { cpu },
+        10..=11 => Op::End { cpu },
+        12 => Op::Abort { cpu },
+        13 => Op::Work {
+            cpu,
+            cycles: rng.gen_range(0..200),
+        },
+        14 => Op::SetUfo {
+            cpu,
+            word: rng.gen_range(0..words),
+            bits: rng.gen_range(0..4) as u8,
+        },
+        15 => Op::Event { cpu },
+        _ => Op::EnableUfo {
+            cpu,
+            on: rng.gen_bool(0.5),
+        },
+    }
+}
+
+fn gen_script(rng: &mut SimRng, cpus: usize, words: u64, max_len: usize) -> Vec<Op> {
+    let len = rng.gen_index(1..max_len);
+    (0..len).map(|_| gen_op(rng, cpus, words)).collect()
 }
 
 /// A reference model: committed memory plus per-CPU transactional overlays.
@@ -51,7 +73,10 @@ struct Reference {
 
 impl Reference {
     fn new(cpus: usize) -> Self {
-        Reference { mem: HashMap::new(), overlay: vec![None; cpus] }
+        Reference {
+            mem: HashMap::new(),
+            overlay: vec![None; cpus],
+        }
     }
 
     fn read(&self, cpu: usize, word: u64) -> u64 {
@@ -103,7 +128,11 @@ fn check_script(mut m: Machine, ops: Vec<Op>) {
             Op::Load { cpu, word } => {
                 match m.load(cpu, Addr::from_word_index(word)) {
                     Ok(v) => {
-                        assert_eq!(v, reference.read(cpu, word), "load divergence at word {word}");
+                        assert_eq!(
+                            v,
+                            reference.read(cpu, word),
+                            "load divergence at word {word}"
+                        );
                     }
                     Err(AccessError::TxnAbort(_)) => {
                         reference.abort(cpu);
@@ -189,8 +218,8 @@ fn check_script(mut m: Machine, ops: Vec<Op>) {
         m.debug_validate();
     }
     // Drain all live transactions, then compare full memory.
-    for cpu in 0..cpus {
-        if depth[cpu] > 0 {
+    for (cpu, &d) in depth.iter().enumerate().take(cpus) {
+        if d > 0 {
             m.btm_abort(cpu);
             reference.abort(cpu);
         }
@@ -205,33 +234,37 @@ fn check_script(mut m: Machine, ops: Vec<Op>) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
-
-    #[test]
-    fn machine_matches_reference_model(
-        ops in proptest::collection::vec(op_strategy(3, 64), 1..120),
-    ) {
+#[test]
+fn machine_matches_reference_model() {
+    for_each_seed(0, seed_count(24), |seed| {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let ops = gen_script(&mut rng, 3, 64, 120);
         let mut cfg = MachineConfig::small(3);
         cfg.timer_quantum = Some(5_000);
         check_script(Machine::new(cfg), ops);
-    }
+    });
+}
 
-    #[test]
-    fn machine_matches_reference_model_unbounded(
-        ops in proptest::collection::vec(op_strategy(2, 64), 1..120),
-    ) {
+#[test]
+fn machine_matches_reference_model_unbounded() {
+    for_each_seed(1000, seed_count(24), |seed| {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let ops = gen_script(&mut rng, 2, 64, 120);
         check_script(Machine::new(MachineConfig::small(2).unbounded()), ops);
-    }
+    });
+}
 
-    #[test]
-    fn machine_matches_reference_model_with_paging(
-        ops in proptest::collection::vec(op_strategy(2, 64), 1..80),
-    ) {
+#[test]
+fn machine_matches_reference_model_with_paging() {
+    for_each_seed(2000, seed_count(24), |seed| {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let ops = gen_script(&mut rng, 2, 64, 80);
         let mut m = Machine::new(MachineConfig::small(2));
-        m.enable_swap(SwapConfig { max_resident_pages: 2 });
+        m.enable_swap(SwapConfig {
+            max_resident_pages: 2,
+        });
         check_script(m, ops);
-    }
+    });
 }
 
 #[test]

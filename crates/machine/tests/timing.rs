@@ -78,7 +78,7 @@ fn nack_charges_the_paper_twenty_cycles() {
     m.store(0, Addr(0), 1).unwrap();
     let before = m.now(1);
     assert!(m.store(1, Addr(0), 2).is_err()); // nacked (younger)
-    // The nack retry delay is charged on top of the access issue cost.
+                                              // The nack retry delay is charged on top of the access issue cost.
     assert_eq!(m.now(1) - before, c.l1_hit + c.nack_retry);
     assert_eq!(c.nack_retry, 20, "paper's constant");
 }
@@ -105,7 +105,8 @@ fn btm_begin_commit_costs() {
 fn ufo_fault_costs_dispatch() {
     let mut m = machine(2);
     let c = costs();
-    m.set_ufo_bits(0, Addr(0), ufotm_machine::UfoBits::FAULT_ON_BOTH).unwrap();
+    m.set_ufo_bits(0, Addr(0), ufotm_machine::UfoBits::FAULT_ON_BOTH)
+        .unwrap();
     m.set_ufo_enabled(1, true);
     let before = m.now(1);
     assert!(m.load(1, Addr(0)).is_err());

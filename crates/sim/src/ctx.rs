@@ -2,9 +2,7 @@
 
 use std::sync::Arc;
 
-use ufotm_machine::{
-    AbortInfo, AccessResult, Addr, BtmEvent, BtmStatus, CpuId, UfoBits,
-};
+use ufotm_machine::{AbortInfo, AccessResult, Addr, BtmEvent, BtmStatus, CpuId, UfoBits};
 
 use crate::engine::{Shared, World};
 
@@ -205,6 +203,8 @@ impl<U> Ctx<U> {
 
 impl<U> std::fmt::Debug for Ctx<U> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Ctx").field("cpu", &self.cpu).finish_non_exhaustive()
+        f.debug_struct("Ctx")
+            .field("cpu", &self.cpu)
+            .finish_non_exhaustive()
     }
 }

@@ -56,11 +56,11 @@ impl<U> EngineState<U> {
         let clocks = self.world.machine.clocks();
         let mut best: Option<(u64, usize)> = None;
         let mut second: Option<u64> = None;
-        for t in 0..self.threads {
+        for (t, &clock) in clocks.iter().enumerate().take(self.threads) {
             if self.done[t] {
                 continue;
             }
-            let key = (clocks[t], t);
+            let key = (clock, t);
             match best {
                 None => best = Some(key),
                 Some(b) if key < b => {
@@ -128,7 +128,12 @@ impl<U: Send> Sim<U> {
     /// Creates a simulation over `machine` with software-shared state
     /// `shared`.
     pub fn new(machine: Machine, shared: U) -> Self {
-        Sim { machine, shared, quantum: 0, cycle_limit: None }
+        Sim {
+            machine,
+            shared,
+            quantum: 0,
+            cycle_limit: None,
+        }
     }
 
     /// Sets the scheduling quantum: how many cycles past the next thread's
@@ -176,7 +181,10 @@ impl<U: Send> Sim<U> {
             };
         }
         let mut state = EngineState {
-            world: World { machine: self.machine, shared: self.shared },
+            world: World {
+                machine: self.machine,
+                shared: self.shared,
+            },
             done: vec![false; n],
             current: 0,
             limit: 0,
@@ -185,7 +193,10 @@ impl<U: Send> Sim<U> {
             cycle_limit: self.cycle_limit,
         };
         state.pick_next();
-        let shared = Arc::new(Shared { state: Mutex::new(state), cv: Condvar::new() });
+        let shared = Arc::new(Shared {
+            state: Mutex::new(state),
+            cv: Condvar::new(),
+        });
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
@@ -271,7 +282,11 @@ mod tests {
         let times: Vec<u64> = r.shared.iter().map(|&(_, t)| t).collect();
         let mut sorted = times.clone();
         sorted.sort_unstable();
-        assert_eq!(times, sorted, "events out of simulated-time order: {:?}", r.shared);
+        assert_eq!(
+            times, sorted,
+            "events out of simulated-time order: {:?}",
+            r.shared
+        );
         assert_eq!(r.shared.len(), 20);
     }
 
@@ -366,8 +381,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "CPUs")]
     fn too_many_threads_panics() {
-        let bodies: Vec<ThreadFn<()>> =
-            (0..3).map(|_| -> ThreadFn<()> { Box::new(|_| {}) }).collect();
+        let bodies: Vec<ThreadFn<()>> = (0..3)
+            .map(|_| -> ThreadFn<()> { Box::new(|_| {}) })
+            .collect();
         Sim::new(machine(2), ()).run(bodies);
     }
 
@@ -395,9 +411,11 @@ mod tests {
     fn cycle_limit_converts_livelock_into_panic() {
         // An endless stall loop (a protocol livelock in miniature) trips
         // the watchdog instead of hanging the host.
-        Sim::new(machine(1), ()).cycle_limit(10_000).run(vec![Box::new(|ctx| loop {
-            ctx.stall(100).unwrap();
-        })]);
+        Sim::new(machine(1), ())
+            .cycle_limit(10_000)
+            .run(vec![Box::new(|ctx| loop {
+                ctx.stall(100).unwrap();
+            })]);
     }
 
     #[test]

@@ -36,6 +36,12 @@
 
 mod ctx;
 mod engine;
+mod seeds;
 
 pub use ctx::Ctx;
 pub use engine::{Sim, SimResult, ThreadFn, World};
+pub use seeds::{for_each_seed, seed_count, SEED_COUNT_ENV, SEED_ENV};
+
+/// Re-exported so seed-sweep tests can derive per-seed randomness without
+/// depending on `ufotm-machine` directly.
+pub use ufotm_machine::SimRng;

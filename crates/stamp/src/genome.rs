@@ -29,7 +29,11 @@ impl GenomeParams {
     /// The scaled-down default configuration.
     #[must_use]
     pub fn standard() -> Self {
-        GenomeParams { segments: 384, segment_space: 1 << 30, buckets: 128 }
+        GenomeParams {
+            segments: 384,
+            segment_space: 1 << 30,
+            buckets: 128,
+        }
     }
 
     fn set_base(&self) -> Addr {
@@ -117,8 +121,14 @@ pub fn run(spec: &RunSpec, params: &GenomeParams) -> RunOutcome {
         expected.sort_unstable();
         expected.dedup();
         let keys = list.peek_keys(m);
-        assert!(keys.windows(2).all(|w| w[0] < w[1]), "list must be strictly sorted");
-        assert_eq!(keys, expected, "list contents diverge from the distinct segments");
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "list must be strictly sorted"
+        );
+        assert_eq!(
+            keys, expected,
+            "list contents diverge from the distinct segments"
+        );
         let mut set_keys = set.peek_all(m);
         set_keys.sort_unstable();
         assert_eq!(set_keys, expected, "hash set contents diverge");
@@ -133,7 +143,11 @@ mod tests {
     use ufotm_core::SystemKind;
 
     fn tiny() -> GenomeParams {
-        GenomeParams { segments: 80, segment_space: 1 << 30, buckets: 32 }
+        GenomeParams {
+            segments: 80,
+            segment_space: 1 << 30,
+            buckets: 32,
+        }
     }
 
     #[test]

@@ -31,13 +31,23 @@ impl KmeansParams {
     /// The paper's high-contention configuration, scaled down.
     #[must_use]
     pub fn high_contention() -> Self {
-        KmeansParams { points: 768, dims: 4, clusters: 4, iterations: 2 }
+        KmeansParams {
+            points: 768,
+            dims: 4,
+            clusters: 4,
+            iterations: 2,
+        }
     }
 
     /// The paper's low-contention configuration, scaled down.
     #[must_use]
     pub fn low_contention() -> Self {
-        KmeansParams { points: 768, dims: 4, clusters: 32, iterations: 2 }
+        KmeansParams {
+            points: 768,
+            dims: 4,
+            clusters: 32,
+            iterations: 2,
+        }
     }
 
     fn points_base(&self) -> Addr {
@@ -49,13 +59,16 @@ impl KmeansParams {
     }
 
     fn centers_base(&self) -> Addr {
-        let end = self.points_base().add_words((self.points * self.dims) as u64);
+        let end = self
+            .points_base()
+            .add_words((self.points * self.dims) as u64);
         Addr(end.0.next_multiple_of(64))
     }
 
     fn center(&self, k: usize, d: usize) -> Addr {
         // One line per centre.
-        self.centers_base().add_words(k as u64 * LINE_WORDS + d as u64)
+        self.centers_base()
+            .add_words(k as u64 * LINE_WORDS + d as u64)
     }
 
     fn accs_base(&self) -> Addr {
@@ -64,7 +77,8 @@ impl KmeansParams {
 
     /// Accumulator layout: word 0 = count, words 1..=D = per-dim sums.
     fn acc(&self, k: usize, field: usize) -> Addr {
-        self.accs_base().add_words(k as u64 * LINE_WORDS + field as u64)
+        self.accs_base()
+            .add_words(k as u64 * LINE_WORDS + field as u64)
     }
 }
 
@@ -141,7 +155,8 @@ pub fn run(spec: &RunSpec, params: &KmeansParams) -> RunOutcome {
                             *v = nont_load(ctx, p.center(k, d));
                         }
                     }
-                    ctx.work((p.clusters * p.dims * 3) as u64).expect("distance compute");
+                    ctx.work((p.clusters * p.dims * 3) as u64)
+                        .expect("distance compute");
                     let k = nearest(&pt, &centers);
                     // The transaction: fold the point into accumulator k.
                     let pt2 = pt.clone();
@@ -161,6 +176,11 @@ pub fn run(spec: &RunSpec, params: &KmeansParams) -> RunOutcome {
                     // pass (plain accesses: everyone else is at the barrier).
                     for k in 0..p.clusters {
                         let count = nont_load(ctx, p.acc(k, 0));
+                        // Not `checked_div`: the accumulator loads must be
+                        // skipped entirely for an empty cluster, or the
+                        // simulated access count (and thus cycle totals)
+                        // would change.
+                        #[allow(clippy::manual_checked_ops)]
                         if count > 0 {
                             for d in 0..p.dims {
                                 let sum = nont_load(ctx, p.acc(k, d + 1));
@@ -187,7 +207,8 @@ pub fn run(spec: &RunSpec, params: &KmeansParams) -> RunOutcome {
         let mut sums = vec![vec![0u64; p.dims]; p.clusters];
         for iter in 0..iterations {
             counts.iter_mut().for_each(|c| *c = 0);
-            sums.iter_mut().for_each(|s| s.iter_mut().for_each(|v| *v = 0));
+            sums.iter_mut()
+                .for_each(|s| s.iter_mut().for_each(|v| *v = 0));
             for i in 0..p.points {
                 let pt: Vec<u64> = (0..p.dims).map(|d| coord(seed, i, d)).collect();
                 let k = nearest(&pt, &centers);
@@ -198,9 +219,9 @@ pub fn run(spec: &RunSpec, params: &KmeansParams) -> RunOutcome {
             }
             if iter + 1 < iterations {
                 for k in 0..p.clusters {
-                    if counts[k] > 0 {
-                        for d in 0..p.dims {
-                            centers[k][d] = sums[k][d] / counts[k];
+                    for d in 0..p.dims {
+                        if let Some(c) = sums[k][d].checked_div(counts[k]) {
+                            centers[k][d] = c;
                         }
                     }
                 }
@@ -215,7 +236,11 @@ pub fn run(spec: &RunSpec, params: &KmeansParams) -> RunOutcome {
                 "cluster {k} count diverged (lost transactional updates?)"
             );
             for d in 0..p.dims {
-                assert_eq!(m.peek(p.acc(k, d + 1)), sums[k][d], "cluster {k} dim {d} sum");
+                assert_eq!(
+                    m.peek(p.acc(k, d + 1)),
+                    sums[k][d],
+                    "cluster {k} dim {d} sum"
+                );
             }
         }
     };
@@ -229,7 +254,12 @@ mod tests {
     use ufotm_core::SystemKind;
 
     fn tiny() -> KmeansParams {
-        KmeansParams { points: 96, dims: 2, clusters: 4, iterations: 2 }
+        KmeansParams {
+            points: 96,
+            dims: 2,
+            clusters: 4,
+            iterations: 2,
+        }
     }
 
     #[test]

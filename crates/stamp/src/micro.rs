@@ -7,10 +7,7 @@
 //! the failover rate, while PhTM degrades faster because one software
 //! transaction drags concurrent hardware transactions along with it.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-use ufotm_machine::{Addr, Machine};
+use ufotm_machine::{Addr, Machine, SimRng};
 
 use crate::harness::{run_workload, RunOutcome, RunSpec, STATIC_BASE};
 use crate::world::StampWorld;
@@ -66,7 +63,7 @@ pub fn run(spec: &RunSpec, params: &MicroParams) -> RunOutcome {
 
     let make_body = move |tid: usize| -> crate::harness::WorkBody {
         Box::new(move |t, ctx| {
-            let mut rng = SmallRng::seed_from_u64(seed ^ ((tid as u64) << 24));
+            let mut rng = SimRng::seed_from_u64(seed ^ ((tid as u64) << 24));
             let region = p.region(tid);
             // Pre-decide which transactions are forced, so retries of the
             // same transaction stay consistent.
@@ -121,7 +118,13 @@ mod tests {
     fn zero_rate_stays_in_hardware() {
         let mut spec = RunSpec::new(SystemKind::UfoHybrid, 2);
         spec.seed = 7;
-        let out = run(&spec, &MicroParams { txns_per_thread: 40, ..MicroParams::with_rate(0.0) });
+        let out = run(
+            &spec,
+            &MicroParams {
+                txns_per_thread: 40,
+                ..MicroParams::with_rate(0.0)
+            },
+        );
         assert_eq!(out.hw_commits, 80);
         assert_eq!(out.sw_commits, 0);
     }
@@ -129,7 +132,13 @@ mod tests {
     #[test]
     fn full_rate_runs_everything_in_software() {
         let spec = RunSpec::new(SystemKind::UfoHybrid, 2);
-        let out = run(&spec, &MicroParams { txns_per_thread: 40, ..MicroParams::with_rate(1.0) });
+        let out = run(
+            &spec,
+            &MicroParams {
+                txns_per_thread: 40,
+                ..MicroParams::with_rate(1.0)
+            },
+        );
         assert_eq!(out.sw_commits, 80);
         assert_eq!(out.hw_commits, 0);
         assert_eq!(out.forced_failovers, 80);
@@ -138,8 +147,20 @@ mod tests {
     #[test]
     fn interior_rate_splits_and_slows_down() {
         let spec0 = RunSpec::new(SystemKind::UfoHybrid, 2);
-        let zero = run(&spec0, &MicroParams { txns_per_thread: 60, ..MicroParams::with_rate(0.0) });
-        let half = run(&spec0, &MicroParams { txns_per_thread: 60, ..MicroParams::with_rate(0.5) });
+        let zero = run(
+            &spec0,
+            &MicroParams {
+                txns_per_thread: 60,
+                ..MicroParams::with_rate(0.0)
+            },
+        );
+        let half = run(
+            &spec0,
+            &MicroParams {
+                txns_per_thread: 60,
+                ..MicroParams::with_rate(0.5)
+            },
+        );
         assert!(half.sw_commits > 0 && half.hw_commits > 0);
         assert!(
             half.makespan > zero.makespan,
@@ -152,7 +173,13 @@ mod tests {
     #[test]
     fn pure_htm_ignores_the_rate() {
         let spec = RunSpec::new(SystemKind::UnboundedHtm, 2);
-        let out = run(&spec, &MicroParams { txns_per_thread: 40, ..MicroParams::with_rate(0.9) });
+        let out = run(
+            &spec,
+            &MicroParams {
+                txns_per_thread: 40,
+                ..MicroParams::with_rate(0.9)
+            },
+        );
         assert_eq!(out.hw_commits, 80);
         assert_eq!(out.forced_failovers, 0);
     }
@@ -160,7 +187,13 @@ mod tests {
     #[test]
     fn phtm_full_rate_is_all_software() {
         let spec = RunSpec::new(SystemKind::PhTm, 2);
-        let out = run(&spec, &MicroParams { txns_per_thread: 30, ..MicroParams::with_rate(1.0) });
+        let out = run(
+            &spec,
+            &MicroParams {
+                txns_per_thread: 30,
+                ..MicroParams::with_rate(1.0)
+            },
+        );
         assert_eq!(out.sw_commits, 60);
     }
 }

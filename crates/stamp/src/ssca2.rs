@@ -26,7 +26,10 @@ impl Ssca2Params {
     /// The standard scaled-down configuration.
     #[must_use]
     pub fn standard() -> Self {
-        Ssca2Params { nodes: 256, edges: 1024 }
+        Ssca2Params {
+            nodes: 256,
+            edges: 1024,
+        }
     }
 
     /// Node record: one line per node — [head, degree, ...].
@@ -90,7 +93,7 @@ pub fn run(spec: &RunSpec, params: &Ssca2Params) -> RunOutcome {
             expected[src as usize].push(dst);
         }
         let mut total_degree = 0u64;
-        for n in 0..p.nodes {
+        for (n, exp) in expected.iter_mut().enumerate() {
             let node = p.node(n);
             let mut got = Vec::new();
             let mut cur = m.peek(node);
@@ -103,8 +106,8 @@ pub fn run(spec: &RunSpec, params: &Ssca2Params) -> RunOutcome {
             assert_eq!(deg as usize, got.len(), "node {n}: degree vs list length");
             total_degree += deg;
             got.sort_unstable();
-            expected[n].sort_unstable();
-            assert_eq!(got, expected[n], "node {n}: adjacency multiset");
+            exp.sort_unstable();
+            assert_eq!(got, *exp, "node {n}: adjacency multiset");
         }
         assert_eq!(total_degree, p.edges as u64);
     };
@@ -118,7 +121,10 @@ mod tests {
     use ufotm_core::SystemKind;
 
     fn tiny() -> Ssca2Params {
-        Ssca2Params { nodes: 32, edges: 120 }
+        Ssca2Params {
+            nodes: 32,
+            edges: 120,
+        }
     }
 
     #[test]
@@ -129,7 +135,12 @@ mod tests {
 
     #[test]
     fn ssca2_verifies_on_hybrids_and_stms() {
-        for kind in [SystemKind::UfoHybrid, SystemKind::PhTm, SystemKind::UstmStrong, SystemKind::Tl2] {
+        for kind in [
+            SystemKind::UfoHybrid,
+            SystemKind::PhTm,
+            SystemKind::UstmStrong,
+            SystemKind::Tl2,
+        ] {
             let out = run(&RunSpec::new(kind, 3), &tiny());
             assert_eq!(out.total_commits(), 120, "{kind}");
         }

@@ -250,7 +250,10 @@ impl HashSet {
     #[must_use]
     pub fn new(buckets: Addr, bucket_count: u64) -> Self {
         assert!(bucket_count.is_power_of_two());
-        HashSet { buckets, bucket_count }
+        HashSet {
+            buckets,
+            bucket_count,
+        }
     }
 
     fn bucket_of(&self, key: u64) -> Addr {
@@ -342,14 +345,15 @@ mod tests {
         let cfg = MachineConfig::table4(1);
         let tm = TmShared::standard(kind, &cfg);
         let machine = Machine::new(cfg);
-        let world = StampWorld { tm, barrier: Barrier::new(Addr(64), 1) };
-        Sim::new(machine, world).run(vec![Box::new(
-            move |ctx: &mut ufotm_sim::Ctx<StampWorld>| {
-                let mut t = TmThread::new(kind, 0);
-                t.install(ctx);
-                body(&mut t, ctx);
-            },
-        ) as ThreadFn<StampWorld>])
+        let world = StampWorld {
+            tm,
+            barrier: Barrier::new(Addr(64), 1),
+        };
+        Sim::new(machine, world).run(vec![Box::new(move |ctx: &mut ufotm_sim::Ctx<StampWorld>| {
+            let mut t = TmThread::new(kind, 0);
+            t.install(ctx);
+            body(&mut t, ctx);
+        }) as ThreadFn<StampWorld>])
     }
 
     #[test]
@@ -376,7 +380,15 @@ mod tests {
         map.peek_each(&r.machine, |k, vals| seen.push((k, vals[0])));
         assert_eq!(
             seen,
-            vec![(10, 20), (20, 40), (30, 60), (50, 100), (70, 7), (80, 160), (90, 180)],
+            vec![
+                (10, 20),
+                (20, 40),
+                (30, 60),
+                (50, 100),
+                (70, 7),
+                (80, 160),
+                (90, 180)
+            ],
             "in-order traversal with updated value"
         );
     }

@@ -17,10 +17,7 @@
 //! (BST deletion adds no new TM behaviour), and customer records accumulate
 //! reservation counts instead of linked reservation lists.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-use ufotm_machine::{Addr, Machine};
+use ufotm_machine::{Addr, Machine, SimRng};
 
 use crate::harness::{run_workload, RunOutcome, RunSpec, STATIC_BASE};
 use crate::structures::BstMap;
@@ -91,7 +88,8 @@ impl VacationParams {
 
 /// Shuffled-feeling but deterministic pseudo-random stream for setup.
 fn mix(seed: u64, a: u64, b: u64) -> u64 {
-    let mut x = seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    let mut x =
+        seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xD1B5_4A32_D192_ED03);
     x ^= x >> 33;
     x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
     x ^= x >> 33;
@@ -132,16 +130,16 @@ pub fn run(spec: &RunSpec, params: &VacationParams) -> RunOutcome {
 
     let make_body = move |tid: usize| -> crate::harness::WorkBody {
         Box::new(move |t, ctx| {
-            let mut rng = SmallRng::seed_from_u64(seed ^ (tid as u64) << 32);
+            let mut rng = SimRng::seed_from_u64(seed ^ (tid as u64) << 32);
             let range = (p.id_space * p.query_range_pct / 100).max(1) as u64;
             let (start, end) = crate::harness::chunk(p.total_tasks, threads, tid);
             for _ in start..end {
                 let action = rng.gen_range(0..100);
-                if action < p.reserve_pct {
+                if action < p.reserve_pct as u64 {
                     // Reservation task: one long transaction.
                     let customer = rng.gen_range(0..p.customers as u64);
                     let queries: Vec<(usize, u64)> = (0..p.queries)
-                        .map(|_| (rng.gen_range(0..TABLES), rng.gen_range(0..range)))
+                        .map(|_| (rng.gen_index(0..TABLES), rng.gen_range(0..range)))
                         .collect();
                     t.transaction(ctx, |tx, ctx| {
                         let mut best: Option<(Addr, u64)> = None;
@@ -162,9 +160,8 @@ pub fn run(spec: &RunSpec, params: &VacationParams) -> RunOutcome {
                             if free > 0 {
                                 map.set_value(tx, ctx, node, 1, free - 1)?;
                                 let cust = BstMap::new(p.customer_root());
-                                let cnode = cust
-                                    .lookup(tx, ctx, customer)?
-                                    .expect("customer exists");
+                                let cnode =
+                                    cust.lookup(tx, ctx, customer)?.expect("customer exists");
                                 let n = cust.value(tx, ctx, cnode, 0)?;
                                 let spent = cust.value(tx, ctx, cnode, 1)?;
                                 cust.set_value(tx, ctx, cnode, 0, n + 1)?;
@@ -175,7 +172,7 @@ pub fn run(spec: &RunSpec, params: &VacationParams) -> RunOutcome {
                     });
                 } else {
                     // Table update task: insert or reprice a relation.
-                    let table = rng.gen_range(0..TABLES);
+                    let table = rng.gen_index(0..TABLES);
                     let id = rng.gen_range(0..p.id_space as u64);
                     let price = 50 + rng.gen_range(0..450);
                     t.transaction(ctx, |tx, ctx| {
@@ -288,8 +285,12 @@ mod tests {
 
     #[test]
     fn vacation_verifies_on_stms_and_lock() {
-        for kind in [SystemKind::UstmStrong, SystemKind::UstmWeak, SystemKind::Tl2, SystemKind::GlobalLock]
-        {
+        for kind in [
+            SystemKind::UstmStrong,
+            SystemKind::UstmWeak,
+            SystemKind::Tl2,
+            SystemKind::GlobalLock,
+        ] {
             let out = run(&RunSpec::new(kind, 2), &tiny());
             assert_eq!(out.total_commits(), 30, "{kind}");
         }
@@ -298,8 +299,14 @@ mod tests {
     #[test]
     fn low_contention_overflows_more_than_high() {
         use ufotm_machine::AbortReason;
-        let hi = run(&RunSpec::new(SystemKind::UfoHybrid, 4), &VacationParams::high_contention());
-        let lo = run(&RunSpec::new(SystemKind::UfoHybrid, 4), &VacationParams::low_contention());
+        let hi = run(
+            &RunSpec::new(SystemKind::UfoHybrid, 4),
+            &VacationParams::high_contention(),
+        );
+        let lo = run(
+            &RunSpec::new(SystemKind::UfoHybrid, 4),
+            &VacationParams::low_contention(),
+        );
         assert!(
             lo.aborts_for(AbortReason::Overflow) >= hi.aborts_for(AbortReason::Overflow),
             "low contention should overflow at least as much (lo={}, hi={})",

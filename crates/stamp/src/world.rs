@@ -50,7 +50,12 @@ impl Barrier {
     /// (reserve one line).
     #[must_use]
     pub fn new(addr: Addr, parties: usize) -> Self {
-        Barrier { addr, parties, arrived: 0, sense: false }
+        Barrier {
+            addr,
+            parties,
+            arrived: 0,
+            sense: false,
+        }
     }
 
     /// Number of participating threads.
@@ -71,7 +76,9 @@ impl Barrier {
                 b.arrived = 0;
                 b.sense = my;
             }
-            w.machine.store(cpu, addr, arrived as u64).expect("barrier store");
+            w.machine
+                .store(cpu, addr, arrived as u64)
+                .expect("barrier store");
             my
         });
         loop {
@@ -99,7 +106,10 @@ mod tests {
     fn barrier_synchronizes_phases() {
         let cfg = MachineConfig::table4(4);
         let tm = TmShared::standard(SystemKind::Sequential, &cfg);
-        let world = StampWorld { tm, barrier: Barrier::new(Addr(1024), 4) };
+        let world = StampWorld {
+            tm,
+            barrier: Barrier::new(Addr(1024), 4),
+        };
         let machine = Machine::new(cfg);
         let bodies: Vec<ThreadFn<StampWorld>> = (0..4)
             .map(|i| -> ThreadFn<StampWorld> {

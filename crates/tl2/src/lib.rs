@@ -22,7 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ufotm_machine::{AccessResult, Addr, LineAddr};
 use ufotm_sim::Ctx;
@@ -144,7 +144,10 @@ impl Tl2Shared {
     /// Panics if `lock_entries` is not a power of two.
     #[must_use]
     pub fn new(config: Tl2Config, base: Addr, lock_entries: u64) -> Self {
-        assert!(lock_entries.is_power_of_two(), "lock entries must be a power of two");
+        assert!(
+            lock_entries.is_power_of_two(),
+            "lock entries must be a power of two"
+        );
         Tl2Shared {
             config,
             stats: Tl2Stats::default(),
@@ -172,7 +175,10 @@ pub struct Tl2Txn {
     cpu: usize,
     rv: u64,
     reads: Vec<usize>,
-    writes: HashMap<u64, u64>,
+    // BTreeMap, not HashMap: the phase-4 write-back issues one
+    // cycle-charged store per word, so publication order is
+    // timing-visible — it must not depend on hash state.
+    writes: BTreeMap<u64, u64>,
     write_lines: Vec<LineAddr>,
     active: bool,
     consecutive_aborts: u32,
@@ -186,7 +192,7 @@ impl Tl2Txn {
             cpu,
             rv: 0,
             reads: Vec::new(),
-            writes: HashMap::new(),
+            writes: BTreeMap::new(),
             write_lines: Vec::new(),
             active: false,
             consecutive_aborts: 0,
@@ -259,7 +265,11 @@ impl Tl2Txn {
                 && post.holder.is_none()
                 && pre.version == post.version
                 && post.version <= rv;
-            if ok { Ok((idx, v)) } else { Err(Tl2Abort::ReadValidation) }
+            if ok {
+                Ok((idx, v))
+            } else {
+                Err(Tl2Abort::ReadValidation)
+            }
         });
         match r {
             Ok((idx, v)) => {
@@ -383,7 +393,7 @@ impl Tl2Txn {
             return Err(Tl2Abort::CommitValidation);
         }
         // Phase 4: publish the write set.
-        let writes: Vec<(u64, u64)> = self.writes.drain().collect();
+        let writes: Vec<(u64, u64)> = std::mem::take(&mut self.writes).into_iter().collect();
         for (a, v) in writes {
             ctx.with(|w| mop(w.machine.store(cpu, Addr(a), v)));
         }
@@ -392,7 +402,10 @@ impl Tl2Txn {
             let m = &mut w.machine;
             let t = w.shared.tl2();
             for &idx in &lock_idxs {
-                t.locks[idx] = LockWord { version: wv, holder: None };
+                t.locks[idx] = LockWord {
+                    version: wv,
+                    holder: None,
+                };
                 let la = t.lock_addr(idx);
                 mop(m.store(cpu, la, wv << 1));
             }
@@ -601,7 +614,10 @@ mod tests {
         };
         let r = Sim::new(machine, shared).run((0..4).map(mk).collect());
         assert_eq!(r.shared.stats.commits, 40);
-        assert_eq!(r.shared.stats.aborts, 0, "disjoint writers must not conflict");
+        assert_eq!(
+            r.shared.stats.aborts, 0,
+            "disjoint writers must not conflict"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Transaction lifecycle and the read/write barriers (paper Algorithms 1–2).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ufotm_machine::{AccessResult, Addr, LineAddr, UfoBits, LINE_WORDS};
 use ufotm_sim::Ctx;
@@ -49,7 +49,10 @@ pub struct UstmTxn {
     cpu: usize,
     ts: u64,
     active: bool,
-    owned: HashMap<LineAddr, Perm>,
+    // BTreeMap, not HashMap: ownership release is a cycle-charged
+    // per-line loop, so iteration order is timing-visible — it must not
+    // depend on hash state or replays diverge.
+    owned: BTreeMap<LineAddr, Perm>,
     undo: Vec<(LineAddr, [u64; WORDS])>,
     log_count: u64,
     /// Set while unwinding: who killed us and the killer's age, so the
@@ -65,7 +68,7 @@ impl UstmTxn {
             cpu,
             ts: 0,
             active: false,
-            owned: HashMap::new(),
+            owned: BTreeMap::new(),
             undo: Vec::new(),
             log_count: 0,
             killed_by: None,

@@ -76,14 +76,14 @@ fn handle_fault<U: HasUstm>(ctx: &mut Ctx<U>, addr: Addr) {
         if let Some((_, e)) = u.otable.lookup(line) {
             let owners: Vec<usize> = e.owner_cpus().collect();
             for o in owners {
-                match u.slots[o].status {
+                let status = u.slots[o].status;
+                match status {
                     TxnStatus::Retrying => u.slots[o].woken = true,
                     TxnStatus::Active
-                        if u.config.nont_policy == NonTFaultPolicy::AbortConflictors =>
+                        if u.config.nont_policy == NonTFaultPolicy::AbortConflictors
+                            && u.doom(o, cpu) =>
                     {
-                        if u.doom(o, cpu) {
-                            u.stats.kills_issued += 1;
-                        }
+                        u.stats.kills_issued += 1;
                     }
                     _ => {}
                 }
@@ -135,7 +135,10 @@ mod tests {
         ]);
         assert_eq!(r.machine.peek(DATA), 7);
         assert_eq!(r.machine.peek(DATA.add_words(1)), 99);
-        assert!(r.shared.stats.nont_faults >= 1, "the store must have faulted");
+        assert!(
+            r.shared.stats.nont_faults >= 1,
+            "the store must have faulted"
+        );
     }
 
     #[test]
@@ -163,8 +166,10 @@ mod tests {
 
     #[test]
     fn abort_conflictors_policy_kills_the_txn() {
-        let mut cfg = UstmConfig::default();
-        cfg.nont_policy = NonTFaultPolicy::AbortConflictors;
+        let cfg = UstmConfig {
+            nont_policy: NonTFaultPolicy::AbortConflictors,
+            ..Default::default()
+        };
         let (machine, shared) = world(2, cfg);
         let r = Sim::new(machine, shared).run(vec![
             Box::new(|ctx: &mut Ctx<UstmShared>| {

@@ -140,7 +140,14 @@ impl Otable {
             self.bins[idx].iter().all(|e| e.line != line),
             "duplicate otable insert for {line:?}"
         );
-        self.bins[idx].insert(0, OtableEntry { line, perm, owners: 1 << cpu });
+        self.bins[idx].insert(
+            0,
+            OtableEntry {
+                line,
+                perm,
+                owners: 1 << cpu,
+            },
+        );
     }
 
     /// Adds `cpu` as a reader of an existing read entry.
@@ -186,7 +193,10 @@ impl Otable {
             .iter_mut()
             .find(|e| e.line == line)
             .expect("demote on missing entry");
-        assert!(e.sole_owner(cpu) && e.perm == Perm::Write, "demote requires sole write ownership");
+        assert!(
+            e.sole_owner(cpu) && e.perm == Perm::Write,
+            "demote requires sole write ownership"
+        );
         e.perm = Perm::Read;
     }
 

@@ -163,6 +163,96 @@ mod tests {
         assert_eq!(r.shared.stats.retries_woken, 1);
     }
 
+    /// The wake fires at the waker's *write barrier* (ownership
+    /// acquisition), not at its commit — so a sleeper can restart while
+    /// the waker is still active and uncommitted. The restarted attempt
+    /// must then lose the conflict-resolution race (or wait it out) and
+    /// may observe only the committed flag value, never a torn one.
+    #[test]
+    fn wake_racing_with_wakers_commit_stays_consistent() {
+        let (machine, shared) = world(2);
+        let r = Sim::new(machine, shared).run(vec![
+            Box::new(|ctx: &mut Ctx<UstmShared>| {
+                let mut txn = UstmTxn::new(0);
+                let got = txn.run(ctx, |t, ctx| {
+                    let flag = t.read(ctx, FLAG)?;
+                    if flag == 0 {
+                        return Err(retry_wait(t, ctx));
+                    }
+                    // The flag is only ever published together with DATA.
+                    t.read(ctx, DATA)
+                });
+                assert_eq!(got, 42);
+            }) as ThreadFn<UstmShared>,
+            Box::new(|ctx: &mut Ctx<UstmShared>| {
+                mop(ctx.work(20_000)); // let the consumer park first
+                let mut txn = UstmTxn::new(1);
+                txn.run(ctx, |t, ctx| {
+                    t.write(ctx, DATA, 42)?;
+                    t.write(ctx, FLAG, 1)?;
+                    // Long post-wake window: the sleeper has been woken by
+                    // the FLAG acquisition above and restarts while this
+                    // transaction is still running.
+                    mop(ctx.work(20_000));
+                    Ok(())
+                });
+            }) as ThreadFn<UstmShared>,
+        ]);
+        assert_eq!(r.machine.peek(FLAG), 1);
+        assert_eq!(r.machine.peek(DATA), 42);
+        assert_eq!(r.shared.stats.commits, 2);
+        // The consumer may be killed and re-park while the producer drains,
+        // but every park must be matched by a wake — nothing sleeps forever.
+        assert!(r.shared.stats.retries_entered >= 1);
+        assert_eq!(r.shared.stats.retries_entered, r.shared.stats.retries_woken);
+        assert_eq!(r.shared.otable.live_entries(), 0);
+    }
+
+    /// A consumer that parks repeatedly (condition not yet satisfied after
+    /// a wake) accounts one `retries_entered` and one `retries_woken` per
+    /// park — the counters stay balanced across multiple rounds.
+    #[test]
+    fn repeated_parks_balance_entered_and_woken_counters() {
+        let (machine, shared) = world(2);
+        let r = Sim::new(machine, shared).run(vec![
+            Box::new(|ctx: &mut Ctx<UstmShared>| {
+                let mut txn = UstmTxn::new(0);
+                let got = txn.run(ctx, |t, ctx| {
+                    let flag = t.read(ctx, FLAG)?;
+                    if flag < 2 {
+                        return Err(retry_wait(t, ctx));
+                    }
+                    t.read(ctx, DATA)
+                });
+                assert_eq!(got, 2);
+            }) as ThreadFn<UstmShared>,
+            Box::new(|ctx: &mut Ctx<UstmShared>| {
+                // Two separate publications, far enough apart that the
+                // consumer parks before each: first wake leaves the
+                // condition unsatisfied (flag == 1 < 2), so it parks again.
+                let mut txn = UstmTxn::new(1);
+                mop(ctx.work(20_000));
+                txn.run(ctx, |t, ctx| {
+                    t.write(ctx, DATA, 1)?;
+                    t.write(ctx, FLAG, 1)
+                });
+                mop(ctx.work(40_000));
+                txn.run(ctx, |t, ctx| {
+                    t.write(ctx, DATA, 2)?;
+                    t.write(ctx, FLAG, 2)
+                });
+            }) as ThreadFn<UstmShared>,
+        ]);
+        assert_eq!(r.machine.peek(FLAG), 2);
+        assert!(
+            r.shared.stats.retries_entered >= 2,
+            "must have parked at least twice"
+        );
+        assert_eq!(r.shared.stats.retries_entered, r.shared.stats.retries_woken);
+        assert_eq!(r.shared.stats.commits, 3);
+        assert_eq!(r.shared.otable.live_entries(), 0);
+    }
+
     /// Empty read set: spurious wake instead of deadlock.
     #[test]
     fn empty_read_set_wakes_spuriously() {

@@ -87,7 +87,10 @@ impl UstmConfig {
     /// The paper's weakly-atomic USTM baseline (no UFO operations).
     #[must_use]
     pub fn weak() -> Self {
-        UstmConfig { strong_atomicity: false, ..UstmConfig::default() }
+        UstmConfig {
+            strong_atomicity: false,
+            ..UstmConfig::default()
+        }
     }
 }
 

@@ -1,11 +1,10 @@
-//! Property-based tests of USTM through the full engine: randomized
+//! Seed-sweep tests of USTM through the full engine: randomized
 //! multi-threaded transaction mixes must serialize, and after every run the
 //! otable must be empty and no residual UFO protection may remain.
+//! Failures print the seed; replay with `CHAOS_SEED=<n>`.
 
-use proptest::prelude::*;
-
-use ufotm_machine::{Addr, Machine, MachineConfig, UfoBits};
-use ufotm_sim::{Sim, ThreadFn};
+use ufotm_machine::{Addr, Machine, MachineConfig, SimRng, UfoBits};
+use ufotm_sim::{for_each_seed, seed_count, Sim, ThreadFn};
 use ufotm_ustm::{nont_load, nont_store, UstmConfig, UstmShared, UstmTxn};
 
 /// Per-thread script: a list of transactions, each touching a set of slots
@@ -16,12 +15,25 @@ struct Script {
     work: u64,
 }
 
-fn script_strategy(slots: u8) -> impl Strategy<Value = Script> {
-    (
-        proptest::collection::vec(proptest::collection::vec(0..slots, 1..6), 0..8),
-        0u64..150,
-    )
-        .prop_map(|(txns, work)| Script { txns, work })
+fn gen_script(rng: &mut SimRng, slots: u8) -> Script {
+    let n = rng.gen_index(0..8);
+    let txns = (0..n)
+        .map(|_| {
+            let k = rng.gen_index(1..6);
+            (0..k)
+                .map(|_| rng.gen_range(0..u64::from(slots)) as u8)
+                .collect()
+        })
+        .collect();
+    Script {
+        txns,
+        work: rng.gen_range(0..150),
+    }
+}
+
+fn gen_scripts(rng: &mut SimRng, slots: u8) -> Vec<Script> {
+    let threads = rng.gen_index(1..4);
+    (0..threads).map(|_| gen_script(rng, slots)).collect()
 }
 
 fn slot_addr(i: u8) -> Addr {
@@ -94,25 +106,29 @@ fn run_scripts(config: UstmConfig, scripts: Vec<Script>, slots: u8) {
         );
     }
     let s = r.shared.stats;
-    assert_eq!(s.begins, s.commits + s.aborts + s.retries_entered, "descriptor accounting");
+    assert_eq!(
+        s.begins,
+        s.commits + s.aborts + s.retries_entered,
+        "descriptor accounting"
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 10, .. ProptestConfig::default() })]
-
-    #[test]
-    fn strong_ustm_serializes_and_cleans_up(
-        scripts in proptest::collection::vec(script_strategy(5), 1..4),
-    ) {
+#[test]
+fn strong_ustm_serializes_and_cleans_up() {
+    for_each_seed(0, seed_count(10), |seed| {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let scripts = gen_scripts(&mut rng, 5);
         run_scripts(UstmConfig::default(), scripts, 5);
-    }
+    });
+}
 
-    #[test]
-    fn weak_ustm_serializes_and_cleans_up(
-        scripts in proptest::collection::vec(script_strategy(5), 1..4),
-    ) {
+#[test]
+fn weak_ustm_serializes_and_cleans_up() {
+    for_each_seed(5000, seed_count(10), |seed| {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let scripts = gen_scripts(&mut rng, 5);
         run_scripts(UstmConfig::weak(), scripts, 5);
-    }
+    });
 }
 
 /// Mixed transactional and (strong-atomicity-mediated) plain traffic on the

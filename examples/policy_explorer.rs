@@ -11,7 +11,10 @@ use ufotm::prelude::*;
 use ufotm::stamp::genome::{self, GenomeParams};
 
 fn main() {
-    let params = GenomeParams { segments: 192, ..GenomeParams::standard() };
+    let params = GenomeParams {
+        segments: 192,
+        ..GenomeParams::standard()
+    };
     let threads = 4;
 
     let configs: Vec<(&str, HybridPolicy, HwCmPolicy, UfoKillPolicy)> = vec![
@@ -35,7 +38,10 @@ fn main() {
         ),
         (
             "stall (not abort) on UFO faults",
-            HybridPolicy { btm_ufo_fault: BtmUfoFaultPolicy::Stall, ..HybridPolicy::default() },
+            HybridPolicy {
+                btm_ufo_fault: BtmUfoFaultPolicy::Stall,
+                ..HybridPolicy::default()
+            },
             HwCmPolicy::AgeOrdered,
             UfoKillPolicy::AllSpeculativeHolders,
         ),

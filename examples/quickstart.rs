@@ -49,7 +49,11 @@ fn main() {
         "system", "cycles", "hw", "sw", "lock"
     );
     for kind in SystemKind::all() {
-        let t = if kind == SystemKind::Sequential { 1 } else { threads };
+        let t = if kind == SystemKind::Sequential {
+            1
+        } else {
+            threads
+        };
         let (makespan, shared) = run_counter(kind, t, increments);
         println!(
             "{:<14} {:>12} {:>8} {:>8} {:>8}",

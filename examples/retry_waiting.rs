@@ -80,7 +80,10 @@ fn main() {
     let u = &result.shared.ustm.stats;
     println!(
         "\nretry parks: {}   wakeups: {}   hw commits: {}   sw commits: {}",
-        u.retries_entered, u.retries_woken, result.shared.stats.hw_commits, result.shared.stats.sw_commits
+        u.retries_entered,
+        u.retries_woken,
+        result.shared.stats.hw_commits,
+        result.shared.stats.sw_commits
     );
     println!("No polling of the queue condition, no lost wakeups — the TM's");
     println!("conflict detection doubles as the wakeup mechanism (paper §6).");

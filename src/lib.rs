@@ -66,9 +66,7 @@ pub mod prelude {
     pub use ufotm_core::{
         nont_load, nont_store, HybridPolicy, SystemKind, TmShared, TmThread, Tx, TxAbort,
     };
-    pub use ufotm_machine::{
-        AbortReason, Addr, Machine, MachineConfig, SwapConfig, UfoBits,
-    };
+    pub use ufotm_machine::{AbortReason, Addr, Machine, MachineConfig, SwapConfig, UfoBits};
     pub use ufotm_sim::{Ctx, Sim, SimResult, ThreadFn, World};
     pub use ufotm_stamp::harness::{RunOutcome, RunSpec};
 }

@@ -8,12 +8,21 @@ use ufotm::stamp::kmeans::{self, KmeansParams};
 use ufotm::stamp::micro::{self, MicroParams};
 
 fn tiny_kmeans() -> KmeansParams {
-    KmeansParams { points: 96, dims: 2, clusters: 4, iterations: 2 }
+    KmeansParams {
+        points: 96,
+        dims: 2,
+        clusters: 4,
+        iterations: 2,
+    }
 }
 
 #[test]
 fn identical_seeds_give_identical_simulations() {
-    for kind in [SystemKind::UfoHybrid, SystemKind::UstmStrong, SystemKind::PhTm] {
+    for kind in [
+        SystemKind::UfoHybrid,
+        SystemKind::UstmStrong,
+        SystemKind::PhTm,
+    ] {
         let a = kmeans::run(&RunSpec::new(kind, 3), &tiny_kmeans());
         let b = kmeans::run(&RunSpec::new(kind, 3), &tiny_kmeans());
         assert_eq!(a.makespan, b.makespan, "{kind}: nondeterministic makespan");
@@ -29,7 +38,10 @@ fn different_seeds_change_microbenchmark_forcing() {
     s1.seed = 1;
     let mut s2 = RunSpec::new(SystemKind::UfoHybrid, 2);
     s2.seed = 2;
-    let p = MicroParams { txns_per_thread: 60, ..MicroParams::with_rate(0.5) };
+    let p = MicroParams {
+        txns_per_thread: 60,
+        ..MicroParams::with_rate(0.5)
+    };
     let a = micro::run(&s1, &p);
     let b = micro::run(&s2, &p);
     // Same totals, (almost certainly) different forced subsets.
@@ -45,7 +57,11 @@ fn different_seeds_change_microbenchmark_forcing() {
 fn genome_reaches_the_same_list_on_every_system() {
     // The final sorted list is fully determined by the input segments, so
     // every system must converge to it (each run also self-verifies).
-    let p = GenomeParams { segments: 80, segment_space: 1 << 30, buckets: 32 };
+    let p = GenomeParams {
+        segments: 80,
+        segment_space: 1 << 30,
+        buckets: 32,
+    };
     for kind in [
         SystemKind::Sequential,
         SystemKind::GlobalLock,
@@ -66,7 +82,11 @@ fn genome_reaches_the_same_list_on_every_system() {
 fn kmeans_accumulators_match_across_systems() {
     // kmeans verification compares against a host-side replay, so passing
     // on two systems proves their final accumulators are identical.
-    for kind in [SystemKind::UnboundedHtm, SystemKind::UfoHybrid, SystemKind::Tl2] {
+    for kind in [
+        SystemKind::UnboundedHtm,
+        SystemKind::UfoHybrid,
+        SystemKind::Tl2,
+    ] {
         kmeans::run(&RunSpec::new(kind, 4), &tiny_kmeans());
     }
 }
@@ -75,11 +95,21 @@ fn kmeans_accumulators_match_across_systems() {
 fn makespan_grows_with_offered_work() {
     let small = kmeans::run(
         &RunSpec::new(SystemKind::UfoHybrid, 2),
-        &KmeansParams { points: 64, dims: 2, clusters: 4, iterations: 1 },
+        &KmeansParams {
+            points: 64,
+            dims: 2,
+            clusters: 4,
+            iterations: 1,
+        },
     );
     let large = kmeans::run(
         &RunSpec::new(SystemKind::UfoHybrid, 2),
-        &KmeansParams { points: 256, dims: 2, clusters: 4, iterations: 1 },
+        &KmeansParams {
+            points: 256,
+            dims: 2,
+            clusters: 4,
+            iterations: 1,
+        },
     );
     assert!(large.makespan > small.makespan);
 }
@@ -89,7 +119,10 @@ fn engine_quantum_preserves_results_for_private_workloads() {
     // With a conflict-free workload, batched scheduling must not change the
     // simulated outcome (timing is identical; only host-side batching
     // differs).
-    let p = MicroParams { txns_per_thread: 50, ..MicroParams::with_rate(0.0) };
+    let p = MicroParams {
+        txns_per_thread: 50,
+        ..MicroParams::with_rate(0.0)
+    };
     let exact = micro::run(&RunSpec::new(SystemKind::UfoHybrid, 3), &p);
     let mut spec = RunSpec::new(SystemKind::UfoHybrid, 3);
     spec.quantum = 50;

@@ -34,7 +34,11 @@ fn figure_2b(config: UstmConfig) -> u64 {
 fn figure_2b_weak_stm_loses_the_plain_store() {
     // This is the bug the paper motivates with: the abort's line-granular
     // undo clobbers the adjacent plain store.
-    assert_eq!(figure_2b(UstmConfig::weak()), 0, "expected the lost-update bug");
+    assert_eq!(
+        figure_2b(UstmConfig::weak()),
+        0,
+        "expected the lost-update bug"
+    );
 }
 
 #[test]

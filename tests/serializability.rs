@@ -1,10 +1,10 @@
-//! Property-based serializability tests: randomized transactional
-//! workloads must preserve a cross-line invariant and lose no updates, on
-//! every TM system.
+//! Seed-sweep serializability tests: randomized transactional workloads
+//! must preserve a cross-line invariant and lose no updates, on every TM
+//! system. Failures print the seed; replay with `CHAOS_SEED=<n>`.
 
-use proptest::prelude::*;
-
+use ufotm::machine::SimRng;
 use ufotm::prelude::*;
+use ufotm::sim::{for_each_seed, seed_count};
 
 /// Runs `threads × txns` transactions, each of which asserts that all
 /// `pool` words are equal (they move in lockstep) and then increments every
@@ -60,74 +60,46 @@ fn run_invariant_workload(
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+/// Sweeps random parameter draws of the invariant workload for one system.
+fn sweep(kind: SystemKind, base: u64, max_pool: usize, max_work: u64) {
+    for_each_seed(base, seed_count(6), |seed| {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let threads = rng.gen_index(1..5);
+        let txns = rng.gen_range(1..13);
+        let pool = rng.gen_index(1..max_pool + 1);
+        let work = rng.gen_range(0..max_work + 1);
+        run_invariant_workload(kind, threads, txns, pool, work, rng.next_u64());
+    });
+}
 
-    #[test]
-    fn ufo_hybrid_serializable(
-        threads in 1usize..=4,
-        txns in 1u64..=12,
-        pool in 1usize..=6,
-        work in 0u64..=200,
-        seed in any::<u64>(),
-    ) {
-        run_invariant_workload(SystemKind::UfoHybrid, threads, txns, pool, work, seed);
-    }
+#[test]
+fn ufo_hybrid_serializable() {
+    sweep(SystemKind::UfoHybrid, 0, 6, 200);
+}
 
-    #[test]
-    fn ustm_strong_serializable(
-        threads in 1usize..=4,
-        txns in 1u64..=10,
-        pool in 1usize..=6,
-        work in 0u64..=200,
-        seed in any::<u64>(),
-    ) {
-        run_invariant_workload(SystemKind::UstmStrong, threads, txns, pool, work, seed);
-    }
+#[test]
+fn ustm_strong_serializable() {
+    sweep(SystemKind::UstmStrong, 100, 6, 200);
+}
 
-    #[test]
-    fn tl2_serializable(
-        threads in 1usize..=4,
-        txns in 1u64..=10,
-        pool in 1usize..=6,
-        work in 0u64..=200,
-        seed in any::<u64>(),
-    ) {
-        run_invariant_workload(SystemKind::Tl2, threads, txns, pool, work, seed);
-    }
+#[test]
+fn tl2_serializable() {
+    sweep(SystemKind::Tl2, 200, 6, 200);
+}
 
-    #[test]
-    fn hytm_serializable(
-        threads in 1usize..=4,
-        txns in 1u64..=10,
-        pool in 1usize..=5,
-        work in 0u64..=150,
-        seed in any::<u64>(),
-    ) {
-        run_invariant_workload(SystemKind::HyTm, threads, txns, pool, work, seed);
-    }
+#[test]
+fn hytm_serializable() {
+    sweep(SystemKind::HyTm, 300, 5, 150);
+}
 
-    #[test]
-    fn phtm_serializable(
-        threads in 1usize..=4,
-        txns in 1u64..=10,
-        pool in 1usize..=5,
-        work in 0u64..=150,
-        seed in any::<u64>(),
-    ) {
-        run_invariant_workload(SystemKind::PhTm, threads, txns, pool, work, seed);
-    }
+#[test]
+fn phtm_serializable() {
+    sweep(SystemKind::PhTm, 400, 5, 150);
+}
 
-    #[test]
-    fn unbounded_htm_serializable(
-        threads in 1usize..=4,
-        txns in 1u64..=10,
-        pool in 1usize..=8,
-        work in 0u64..=150,
-        seed in any::<u64>(),
-    ) {
-        run_invariant_workload(SystemKind::UnboundedHtm, threads, txns, pool, work, seed);
-    }
+#[test]
+fn unbounded_htm_serializable() {
+    sweep(SystemKind::UnboundedHtm, 500, 8, 150);
 }
 
 #[test]
@@ -165,5 +137,8 @@ fn large_pool_overflows_and_still_serializes_on_hybrid() {
     for i in 0..pool {
         assert_eq!(r.machine.peek(addr_of(i)), 18);
     }
-    assert!(r.shared.stats.sw_commits > 0, "overflow must have failed over");
+    assert!(
+        r.shared.stats.sw_commits > 0,
+        "overflow must have failed over"
+    );
 }
