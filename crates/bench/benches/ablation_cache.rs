@@ -8,7 +8,7 @@
 //! L1 size and shows overflow failovers vanishing and the UFO hybrid
 //! closing on the unbounded HTM.
 
-use ufotm_bench::{header, quick, speedup};
+use ufotm_bench::{header, quick, speedup, ArtifactWriter};
 use ufotm_core::SystemKind;
 use ufotm_machine::{AbortReason, CacheGeometry};
 use ufotm_stamp::harness::RunSpec;
@@ -33,6 +33,7 @@ fn main() {
         "{:<30} {:>14} {:>14} {:>10} {:>10}",
         "L1 size", "unbounded(cyc)", "ufo-hyb(cyc)", "rel.perf", "overflows"
     );
+    let mut art = ArtifactWriter::new("ablation_cache");
     for (name, geo) in l1s {
         let mut su = RunSpec::new(SystemKind::UnboundedHtm, threads);
         su.machine.l1 = geo;
@@ -40,6 +41,12 @@ fn main() {
         let mut sh = RunSpec::new(SystemKind::UfoHybrid, threads);
         sh.machine.l1 = geo;
         let hybrid = vacation::run(&sh, &params);
+        let kib = geo.capacity_bytes() / 1024;
+        art.push(
+            format!("vacation-low/unbounded-htm/l1-{kib}KiB"),
+            &unbounded,
+        );
+        art.push(format!("vacation-low/ufo-hybrid/l1-{kib}KiB"), &hybrid);
         println!(
             "{:<30} {:>14} {:>14} {:>9.2}x {:>10}",
             name,
@@ -52,4 +59,5 @@ fn main() {
     println!();
     println!("Expected shape: overflows collapse as the cache grows, and the");
     println!("UFO hybrid converges on the unbounded HTM (rel.perf → ~1.0).");
+    art.finish();
 }

@@ -8,7 +8,7 @@
 //! (stall polls rise), and HyTM hardware transactions abort more on bins
 //! they read transactionally.
 
-use ufotm_bench::{header, quick};
+use ufotm_bench::{header, quick, ArtifactWriter};
 use ufotm_core::{SystemKind, TmSharedLayout};
 use ufotm_machine::AbortReason;
 use ufotm_stamp::harness::RunSpec;
@@ -43,9 +43,12 @@ fn main() {
         "{:<12} {:>14} {:>16} {:>14} {:>16}",
         "otable bins", "chain walks", "USTM makespan", "HyTM bin-kills", "HyTM makespan"
     );
+    let mut art = ArtifactWriter::new("ablation_otable");
     for bins in [256u64, 1024, 16 * 1024] {
         let ustm = run_with_bins(SystemKind::UstmStrong, threads, &params, bins);
         let hytm = run_with_bins(SystemKind::HyTm, threads, &params, bins);
+        art.push(format!("vacation-high/ustm-strong/bins-{bins}"), &ustm);
+        art.push(format!("vacation-high/hytm/bins-{bins}"), &hytm);
         println!(
             "{:<12} {:>14} {:>16} {:>14} {:>16}",
             bins,
@@ -61,4 +64,5 @@ fn main() {
     println!("makespans also expose the tradeoff this model makes explicit: a");
     println!("larger bin array has a larger cache footprint, so barrier traffic");
     println!("misses more — table sizing balances aliasing against locality.");
+    art.finish();
 }

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use ufotm_bench::{header, quick};
+use ufotm_bench::{header, quick, ArtifactWriter};
 use ufotm_core::{SystemKind, TmShared, TmThread};
 use ufotm_machine::{Addr, LineAddr, Machine, MachineConfig, SimAlloc};
 use ufotm_sim::{Ctx, Sim, ThreadFn};
@@ -104,4 +104,7 @@ fn main() {
     bench_alloc();
     bench_machine_access();
     bench_end_to_end();
+    // Host-time measurements are nondeterministic by nature, so they stay
+    // out of the artifact; the (empty) file keeps the per-bench contract.
+    ArtifactWriter::new("criterion_micro").finish();
 }

@@ -2,7 +2,8 @@
 //! system on the five STAMP configurations, across thread counts.
 
 use ufotm_bench::{
-    fig5_systems, header, one_line, print_speedup_table, quick, spec, speedup, thread_counts,
+    fig5_systems, header, one_line, print_speedup_table, quick, slug, spec, speedup, thread_counts,
+    ArtifactWriter,
 };
 use ufotm_core::SystemKind;
 use ufotm_stamp::harness::{RunOutcome, RunSpec};
@@ -56,8 +57,10 @@ fn workloads() -> Vec<(&'static str, Runner)> {
 fn main() {
     header("Figure 5 — speedup relative to sequential execution");
     let threads = thread_counts();
+    let mut art = ArtifactWriter::new("fig5_speedup");
     for (name, run) in workloads() {
         let seq = run(&spec(SystemKind::Sequential, 1));
+        art.push(format!("{}/sequential/1T", slug(name)), &seq);
         println!();
         println!("[{name}] sequential makespan = {} cycles", seq.makespan);
         let mut rows = Vec::new();
@@ -68,6 +71,7 @@ fn main() {
                 let out = run(&spec(kind, t));
                 speedups.push(speedup(seq.makespan, out.makespan));
                 details.push(one_line(&out));
+                art.push(format!("{}/{}/{t}T", slug(name), kind.label()), &out);
             }
             rows.push((kind, speedups));
         }
@@ -78,4 +82,5 @@ fn main() {
             println!("    {d}");
         }
     }
+    art.finish();
 }

@@ -1,7 +1,7 @@
 //! Regenerates Figure 6: why hardware transactions aborted, for each hybrid
 //! (and the unbounded HTM for reference) on each workload.
 
-use ufotm_bench::{header, print_abort_breakdown, quick, spec};
+use ufotm_bench::{header, print_abort_breakdown, quick, slug, spec, ArtifactWriter};
 use ufotm_core::SystemKind;
 use ufotm_stamp::harness::{RunOutcome, RunSpec};
 use ufotm_stamp::{genome, kmeans, vacation};
@@ -16,9 +16,23 @@ fn main() {
         SystemKind::HyTm,
         SystemKind::PhTm,
     ];
+    let mut art = ArtifactWriter::new("fig6_aborts");
 
-    let run_all = |name: &str, f: &dyn Fn(&RunSpec) -> RunOutcome| {
-        let outs: Vec<RunOutcome> = systems.iter().map(|&k| f(&spec(k, threads))).collect();
+    let run_all = |art: &mut ArtifactWriter, name: &str, f: &dyn Fn(&RunSpec) -> RunOutcome| {
+        let outs: Vec<RunOutcome> = systems
+            .iter()
+            .map(|&k| {
+                // Trace the run so the report's latency/retry histograms
+                // are populated (host-side only; simulated cycles are
+                // unchanged).
+                let mut s = spec(k, threads);
+                s.trace_cap = 1 << 18;
+                let out = f(&s);
+                out.report.assert_audit_clean();
+                art.push(format!("{}/{}/{threads}T", slug(name), k.label()), &out);
+                out
+            })
+            .collect();
         let refs: Vec<&RunOutcome> = outs.iter().collect();
         print_abort_breakdown(name, &refs);
     };
@@ -27,25 +41,34 @@ fn main() {
         points: scale(768),
         ..kmeans::KmeansParams::high_contention()
     };
-    run_all("kmeans high contention", &|s| kmeans::run(s, &km_high));
+    run_all(&mut art, "kmeans high contention", &|s| {
+        kmeans::run(s, &km_high)
+    });
     let km_low = kmeans::KmeansParams {
         points: scale(768),
         ..kmeans::KmeansParams::low_contention()
     };
-    run_all("kmeans low contention", &|s| kmeans::run(s, &km_low));
+    run_all(&mut art, "kmeans low contention", &|s| {
+        kmeans::run(s, &km_low)
+    });
     let vac_high = vacation::VacationParams {
         total_tasks: scale(96),
         ..vacation::VacationParams::high_contention()
     };
-    run_all("vacation high contention", &|s| vacation::run(s, &vac_high));
+    run_all(&mut art, "vacation high contention", &|s| {
+        vacation::run(s, &vac_high)
+    });
     let vac_low = vacation::VacationParams {
         total_tasks: scale(96),
         ..vacation::VacationParams::low_contention()
     };
-    run_all("vacation low contention", &|s| vacation::run(s, &vac_low));
+    run_all(&mut art, "vacation low contention", &|s| {
+        vacation::run(s, &vac_low)
+    });
     let gen = genome::GenomeParams {
         segments: scale(384),
         ..genome::GenomeParams::standard()
     };
-    run_all("genome", &|s| genome::run(s, &gen));
+    run_all(&mut art, "genome", &|s| genome::run(s, &gen));
+    art.finish();
 }

@@ -2,7 +2,7 @@
 //! software-failover rate (7a = full range, 7b = low-rate zoom with the
 //! 0 %-rate overheads of §5.3), plus the measured UFO/HyTM crossover.
 
-use ufotm_bench::{header, quick, spec, speedup, Recap};
+use ufotm_bench::{header, quick, spec, speedup, ArtifactWriter, Recap};
 use ufotm_core::SystemKind;
 use ufotm_stamp::micro::{self, MicroParams};
 
@@ -23,11 +23,13 @@ fn main() {
         SystemKind::UstmStrong,
     ];
 
+    let mut art = ArtifactWriter::new("fig7_failover");
     let params_at = |rate: f64| MicroParams {
         txns_per_thread: txns,
         ..MicroParams::with_rate(rate)
     };
     let seq = micro::run(&spec(SystemKind::Sequential, 1), &params_at(0.0));
+    art.push("micro/sequential/1T/rate-0", &seq);
     println!(
         "sequential makespan = {} cycles ({} txns)",
         seq.makespan, txns
@@ -47,6 +49,10 @@ fn main() {
         print!("{:<8.0}", rate * 100.0);
         for (i, &k) in systems.iter().enumerate() {
             let out = micro::run(&spec(k, threads), &params_at(rate));
+            art.push(
+                format!("micro/{}/{threads}T/rate-{:.0}", k.label(), rate * 100.0),
+                &out,
+            );
             let s = threads as f64 * speedup(seq.makespan, out.makespan);
             series[i].push(s);
             print!("{s:>14.2}");
@@ -95,4 +101,5 @@ fn main() {
         ),
     );
     recap.print("Figure 7");
+    art.finish();
 }

@@ -12,7 +12,7 @@
 //! all against the paper's recommended baseline (age CM, never fail over
 //! on contention, abort-and-retry on UFO faults).
 
-use ufotm_bench::{header, quick, speedup};
+use ufotm_bench::{header, quick, slug, speedup, ArtifactWriter};
 use ufotm_core::{HybridPolicy, SystemKind};
 use ufotm_machine::{HwCmPolicy, UfoKillPolicy};
 use ufotm_stamp::harness::{RunOutcome, RunSpec};
@@ -77,7 +77,13 @@ fn configs() -> Vec<Config> {
     ]
 }
 
-fn run_with(cfgs: &[Config], threads: usize, f: &dyn Fn(&RunSpec) -> RunOutcome) {
+fn run_with(
+    cfgs: &[Config],
+    threads: usize,
+    workload: &str,
+    art: &mut ArtifactWriter,
+    f: &dyn Fn(&RunSpec) -> RunOutcome,
+) {
     let mut baseline = 0u64;
     for (i, c) in cfgs.iter().enumerate() {
         let mut spec = RunSpec::new(SystemKind::UfoHybrid, threads);
@@ -86,6 +92,7 @@ fn run_with(cfgs: &[Config], threads: usize, f: &dyn Fn(&RunSpec) -> RunOutcome)
         spec.machine.ufo_kill_policy = c.ufo_kill;
         spec.machine.ufo_owner_state_sets = c.owner_state_sets;
         let out = f(&spec);
+        art.push(format!("{}/config-{i}/{threads}T", slug(workload)), &out);
         if i == 0 {
             baseline = out.makespan;
         }
@@ -105,6 +112,7 @@ fn main() {
     let threads = if quick() { 4 } else { 8 };
     let scale = |n: usize| if quick() { n / 3 } else { n };
     let cfgs = configs();
+    let mut art = ArtifactWriter::new("fig8_sensitivity");
 
     println!();
     println!("[genome]");
@@ -112,7 +120,9 @@ fn main() {
         segments: scale(384),
         ..genome::GenomeParams::standard()
     };
-    run_with(&cfgs, threads, &|s| genome::run(s, &gen));
+    run_with(&cfgs, threads, "genome", &mut art, &|s| {
+        genome::run(s, &gen)
+    });
 
     println!();
     println!("[kmeans high contention]");
@@ -120,5 +130,8 @@ fn main() {
         points: scale(768),
         ..kmeans::KmeansParams::high_contention()
     };
-    run_with(&cfgs, threads, &|s| kmeans::run(s, &km));
+    run_with(&cfgs, threads, "kmeans high contention", &mut art, &|s| {
+        kmeans::run(s, &km)
+    });
+    art.finish();
 }

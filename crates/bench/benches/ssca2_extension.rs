@@ -5,7 +5,9 @@
 //! hybrids should commit essentially everything in hardware, and the STMs
 //! should show their fixed per-barrier overhead and nothing else.
 
-use ufotm_bench::{fig5_systems, header, print_speedup_table, quick, spec, speedup, thread_counts};
+use ufotm_bench::{
+    fig5_systems, header, print_speedup_table, quick, spec, speedup, thread_counts, ArtifactWriter,
+};
 use ufotm_core::SystemKind;
 use ufotm_stamp::ssca2::{self, Ssca2Params};
 
@@ -16,7 +18,9 @@ fn main() {
         edges: if quick() { 384 } else { 1024 },
     };
     let threads = thread_counts();
+    let mut art = ArtifactWriter::new("ssca2_extension");
     let seq = ssca2::run(&spec(SystemKind::Sequential, 1), &params);
+    art.push("ssca2/sequential/1T", &seq);
     println!(
         "sequential makespan = {} cycles ({} edges)",
         seq.makespan, params.edges
@@ -27,10 +31,12 @@ fn main() {
         for &t in &threads {
             let out = ssca2::run(&spec(kind, t), &params);
             speedups.push(speedup(seq.makespan, out.makespan));
+            art.push(format!("ssca2/{}/{t}T", kind.label()), &out);
         }
         rows.push((kind, speedups));
     }
     print_speedup_table("ssca2", &threads, &rows);
+    art.finish();
     println!();
     println!("Expected shape: everything scales; hybrids ≈ unbounded HTM; the");
     println!("gap to the STMs is their flat per-barrier overhead.");

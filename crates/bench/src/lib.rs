@@ -157,10 +157,105 @@ pub fn one_line(o: &RunOutcome) -> String {
     )
 }
 
+/// Turns a human title ("kmeans high contention") into an artifact label
+/// segment ("kmeans-high-contention").
+#[must_use]
+pub fn slug(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_whitespace() { '-' } else { c })
+        .collect()
+}
+
 /// A named run spec builder used by several figures.
 #[must_use]
 pub fn spec(kind: SystemKind, threads: usize) -> RunSpec {
     RunSpec::new(kind, threads)
+}
+
+/// Accumulates [`RunReport`](ufotm_core::RunReport)s from a bench target
+/// and writes them as one `BENCH_<name>.json` machine-readable artifact.
+///
+/// The artifact is deterministic byte-for-byte across same-seed runs: run
+/// order is push order (the bench's fixed sweep order) and each report
+/// serializes integers with fixed key order — see `docs/RUN_REPORT.md`.
+#[derive(Debug)]
+pub struct ArtifactWriter {
+    name: &'static str,
+    runs: Vec<(String, String)>,
+}
+
+impl ArtifactWriter {
+    /// Creates a writer for the bench target `name` (the file becomes
+    /// `BENCH_<name>.json`).
+    #[must_use]
+    pub fn new(name: &'static str) -> Self {
+        ArtifactWriter {
+            name,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Records one run under a label like `"vacation/ufo-hybrid/4T"`.
+    pub fn push(&mut self, label: impl Into<String>, outcome: &RunOutcome) {
+        self.runs.push((label.into(), outcome.report.to_json()));
+    }
+
+    /// Number of runs recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether no runs were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The artifact body (deterministic JSON).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"bench\":\"");
+        out.push_str(self.name);
+        out.push_str("\",\"runs\":[");
+        for (i, (label, report)) in self.runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"label\":\"");
+            // Labels are bench-authored slugs; escape the two JSON-special
+            // characters anyway so a stray quote cannot corrupt the file.
+            for c in label.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c => out.push(c),
+                }
+            }
+            out.push_str("\",\"report\":");
+            out.push_str(report);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` into `$UFOTM_BENCH_OUT` (default: the
+    /// current directory) and returns the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written: a bench that silently drops
+    /// its artifact would look like a passing run with missing data.
+    pub fn finish(&self) -> std::path::PathBuf {
+        let dir = std::env::var("UFOTM_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!();
+        println!("wrote {} ({} runs)", path.display(), self.runs.len());
+        path
+    }
 }
 
 /// Accumulates measured series so benches can print a compact recap.

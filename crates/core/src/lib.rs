@@ -26,17 +26,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod lockbase;
 mod phtm;
 mod policy;
+mod report;
 mod runtime;
 mod shared;
 mod trace;
 mod tx;
 
+pub use audit::{audit_events, audit_log, AuditReport, AuditViolation, CommitPath, TxnRecord};
 pub use lockbase::LockShared;
 pub use phtm::PhtmShared;
 pub use policy::{BtmUfoFaultPolicy, HybridPolicy};
+pub use report::{CycleAttribution, Log2Histogram, RunReport, TraceSummary, ABORT_TAXONOMY};
 pub use runtime::TmThread;
 pub use shared::{
     AllocModel, HasTm, HybridStats, SerialGate, SystemKind, TmShared, TmSharedLayout, TmWorld,

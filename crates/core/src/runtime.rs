@@ -249,11 +249,13 @@ impl TmThread {
                         self.tl2.drop_attempt(ctx);
                     }
                     undo_allocs(ctx, &bk.allocs);
+                    trace(ctx, TraceKind::SwAbort);
                 }
                 Err(other) => unreachable!("TL2 body produced {other}"),
             }
             self.consecutive += 1;
             let backoff = self.policy.backoff_for(self.consecutive);
+            ctx.with(|w| w.shared.tm().stats.backoff_cycles += backoff);
             ctx.stall(backoff).expect("TL2 backoff");
         }
     }
@@ -269,6 +271,11 @@ impl TmThread {
         phtm_check: bool,
     ) -> Result<R, HwFail> {
         if let Err(AccessError::TxnAbort(i)) = ctx.btm_begin() {
+            // The attempt died at begin (e.g. a timer interrupt landing on
+            // the begin op). Journal both edges so every abort has a begin
+            // and the trace auditor sees a balanced attempt.
+            trace(ctx, TraceKind::HwBegin);
+            trace(ctx, TraceKind::HwAbort(i.reason));
             return Err(HwFail::Abort(i));
         }
         trace(ctx, TraceKind::HwBegin);
@@ -286,10 +293,14 @@ impl TmThread {
                     Ok(_) => {
                         ctx.btm_abort_with(AbortInfo::new(AbortReason::Explicit));
                         ctx.with(|w| w.shared.tm().phtm.phase_aborts += 1);
+                        trace(ctx, TraceKind::HwAbort(AbortReason::Explicit));
                         return Err(HwFail::PhaseBusy);
                     }
                     Err(AccessError::Nacked) => {}
-                    Err(AccessError::TxnAbort(i)) => return Err(HwFail::Abort(i)),
+                    Err(AccessError::TxnAbort(i)) => {
+                        trace(ctx, TraceKind::HwAbort(i.reason));
+                        return Err(HwFail::Abort(i));
+                    }
                     Err(e) => panic!("phase check: {e}"),
                 }
             }
@@ -311,10 +322,14 @@ impl TmThread {
                     Ok(false) => break,
                     Ok(true) => {
                         ctx.btm_abort_with(AbortInfo::new(AbortReason::Explicit));
+                        trace(ctx, TraceKind::HwAbort(AbortReason::Explicit));
                         return Err(HwFail::SerialBusy);
                     }
                     Err(AccessError::Nacked) => {}
-                    Err(AccessError::TxnAbort(i)) => return Err(HwFail::Abort(i)),
+                    Err(AccessError::TxnAbort(i)) => {
+                        trace(ctx, TraceKind::HwAbort(i.reason));
+                        return Err(HwFail::Abort(i));
+                    }
                     Err(e) => panic!("serial gate subscribe: {e}"),
                 }
             }
@@ -351,8 +366,17 @@ impl TmThread {
                         trace(ctx, TraceKind::HwAbort(i.reason));
                         Err(HwFail::Abort(i))
                     }
-                    TxAbort::Forced => Err(HwFail::Forced),
-                    TxAbort::RetryRequested => Err(HwFail::RetryRequested),
+                    // Both hooks already aborted the BTM transaction (as
+                    // Explicit); journal the abort so the attempt is
+                    // balanced in the trace.
+                    TxAbort::Forced => {
+                        trace(ctx, TraceKind::HwAbort(AbortReason::Explicit));
+                        Err(HwFail::Forced)
+                    }
+                    TxAbort::RetryRequested => {
+                        trace(ctx, TraceKind::HwAbort(AbortReason::Explicit));
+                        Err(HwFail::RetryRequested)
+                    }
                     TxAbort::Stm(_) | TxAbort::Tl2(_) => {
                         unreachable!("software abort in a hardware attempt")
                     }
@@ -374,6 +398,7 @@ impl TmThread {
                 cycles += self.rng.gen_range(0..span);
             }
         }
+        ctx.with(|w| w.shared.tm().stats.backoff_cycles += cycles);
         ctx.stall(cycles).expect("backoff stall");
     }
 
@@ -440,9 +465,9 @@ impl TmThread {
         ctx: &mut Ctx<U>,
         body: &mut impl FnMut(&mut Tx<'_>, &mut Ctx<U>) -> Result<R, TxAbort>,
     ) -> R {
-        trace(ctx, TraceKind::SerialIrrevocable);
-        lock_acquire(ctx, 80);
         let cpu = self.cpu;
+        let entered = ctx.with(|w| w.machine.now(cpu));
+        lock_acquire(ctx, 80);
         ctx.with(|w| {
             let a = {
                 let t = w.shared.tm();
@@ -470,6 +495,11 @@ impl TmThread {
             }
             ctx.stall(120).expect("serial quiesce wait");
         }
+        // Journaled only now — gate raised and quiesce complete — so the
+        // SerialIrrevocable..PlainCommit window in the trace is exactly the
+        // interval in which no other CPU may commit (the auditor's serial-
+        // exclusivity invariant).
+        trace(ctx, TraceKind::SerialIrrevocable);
         let mut tx = Tx::new(self.cpu, Mode::Serial, self.policy, &mut self.alloc_budget);
         let r = body(&mut tx, ctx);
         let bk = tx.into_bookkeeping();
@@ -487,6 +517,10 @@ impl TmThread {
             w.machine.store(cpu, a, 0).expect("serial flag lower");
         });
         lock_release(ctx);
+        ctx.with(|w| {
+            let window = w.machine.now(cpu) - entered;
+            w.shared.tm().stats.serial_cycles += window;
+        });
         r
     }
 
@@ -559,6 +593,7 @@ impl TmThread {
                             if let Some(n) = self.policy.conflict_failover_after {
                                 if self.consecutive + 1 >= n {
                                     ctx.with(|w| w.shared.tm().stats.record_failover(info.reason));
+                                    trace(ctx, TraceKind::Failover(info.reason));
                                     return self.ustm_path(ctx, body);
                                 }
                             }
@@ -639,6 +674,7 @@ impl TmThread {
                 Err(HwFail::Abort(info)) => {
                     if info.reason.is_failover() {
                         ctx.with(|w| w.shared.tm().stats.record_failover(info.reason));
+                        trace(ctx, TraceKind::Failover(info.reason));
                         return self.ustm_path(ctx, body);
                     }
                     match info.reason {
@@ -695,6 +731,7 @@ impl TmThread {
                 Err(HwFail::Abort(info)) => {
                     if info.reason.is_failover() {
                         ctx.with(|w| w.shared.tm().stats.record_failover(info.reason));
+                        trace(ctx, TraceKind::Failover(info.reason));
                         return self.phtm_sw(ctx, body, true);
                     }
                     match info.reason {

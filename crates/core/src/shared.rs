@@ -131,6 +131,13 @@ pub struct HybridStats {
     pub hw_retries: u64,
     /// Allocator pool refills modelled as system calls.
     pub alloc_syscalls: u64,
+    /// Cycles spent in post-abort exponential backoff (jitter included) —
+    /// Table 4-style attribution of contention-management time.
+    pub backoff_cycles: u64,
+    /// Cycles spent inside serial-irrevocable windows (lock acquisition,
+    /// gate raise, quiesce, body, gate lower) — the cost of the watchdog's
+    /// last tier.
+    pub serial_cycles: u64,
 }
 
 impl HybridStats {

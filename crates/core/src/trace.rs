@@ -107,6 +107,13 @@ impl TraceLog {
         self.enabled && self.events.len() < self.cap
     }
 
+    /// Whether recording was enabled but hit the cap: the journal ends
+    /// mid-stream, so end-of-journal balance checks do not apply.
+    #[must_use]
+    pub fn truncated(&self) -> bool {
+        self.enabled && self.events.len() >= self.cap
+    }
+
     pub(crate) fn record(&mut self, cycle: u64, cpu: usize, kind: TraceKind) {
         if self.is_recording() {
             self.events.push(TraceEvent { cycle, cpu, kind });

@@ -8,7 +8,9 @@
 //! bit-for-bit seed replay. A failing seed prints as `CHAOS_SEED=<n>` for
 //! exact reproduction; `CHAOS_SEEDS=<k>` shrinks the sweep for smoke runs.
 
-use ufotm_core::{EscalationTier, HybridPolicy, SystemKind, TmShared, TmThread, TraceKind};
+use ufotm_core::{
+    audit_log, EscalationTier, HybridPolicy, SystemKind, TmShared, TmThread, TraceKind,
+};
 use ufotm_machine::{Addr, FaultPlan, HwCmPolicy, Machine, MachineConfig, SwapConfig};
 use ufotm_sim::{for_each_seed, seed_count, Ctx, Sim, SimResult, ThreadFn};
 
@@ -44,7 +46,10 @@ fn torture_machine(plan: FaultPlan) -> (MachineConfig, Machine) {
 /// shared counter plus a private slot. Returns the finished simulation.
 fn run_counters(kind: SystemKind, plan: FaultPlan) -> SimResult<TmShared> {
     let (cfg, machine) = torture_machine(plan);
-    let shared = TmShared::standard(kind, &cfg);
+    let mut shared = TmShared::standard(kind, &cfg);
+    // Journal every run so the trace auditor can replay it afterwards
+    // (host-side only; the simulated execution is unchanged).
+    shared.trace.enable(1 << 16);
     Sim::new(machine, shared).run(
         (0..CPUS)
             .map(|cpu| -> ThreadFn<TmShared> {
@@ -85,6 +90,16 @@ fn assert_counters_exact(r: &SimResult<TmShared>, label: &str) {
         r.shared.stats.total_commits(),
         total,
         "{label}: commit accounting"
+    );
+    // Every fault schedule must still produce a protocol-clean journal:
+    // balanced attempts, failovers only after aborts, exclusive serial
+    // windows, faults preceding the events they provoke.
+    let audit = audit_log(&r.shared.trace);
+    assert!(
+        audit.is_clean(),
+        "{label}: trace audit found {} violation(s), e.g. {}",
+        audit.violations.len(),
+        audit.violations[0],
     );
 }
 
@@ -258,6 +273,20 @@ fn watchdog_breaks_crafted_livelock_with_serial_commit() {
     // Both counters took every increment from both threads.
     assert_eq!(r.machine.peek(a), 2 * rounds);
     assert_eq!(r.machine.peek(b), 2 * rounds);
+    // The full journal of the livelock (nack storm, escalations, the
+    // serial window) must satisfy every auditor invariant.
+    audit_log(&r.shared.trace).assert_clean();
+    // CI artifact: with UFOTM_REPORT_DIR set, emit this run's full report
+    // (the chaos smoke job uploads it — see .github/workflows/ci.yml).
+    if let Ok(dir) = std::env::var("UFOTM_REPORT_DIR") {
+        let report = ufotm_core::RunReport::collect(0xDEAD, &r.machine, &r.shared);
+        std::fs::create_dir_all(&dir).expect("report dir");
+        std::fs::write(
+            std::path::Path::new(&dir).join("REPORT_chaos_livelock.json"),
+            report.to_json(),
+        )
+        .expect("write chaos run report");
+    }
     let stats = &r.shared.stats;
     assert!(
         stats.watchdog_escalations > 0,

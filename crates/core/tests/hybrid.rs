@@ -2,7 +2,7 @@
 //! unbounded HTM, and the baselines, all exercising the full stack
 //! (machine + engine + USTM/TL2 + drivers).
 
-use ufotm_core::{SystemKind, TmShared, TmThread};
+use ufotm_core::{audit_log, SystemKind, TmShared, TmThread};
 use ufotm_machine::{AbortReason, Addr, CacheGeometry, Machine, MachineConfig};
 use ufotm_sim::{Ctx, Sim, SimResult, ThreadFn};
 
@@ -16,15 +16,19 @@ fn machine_for(kind: SystemKind, cpus: usize) -> MachineConfig {
     cfg
 }
 
-/// Runs `threads` bodies under `kind`, returning the final world.
+/// Runs `threads` bodies under `kind`, returning the final world. Every
+/// run is journaled and the trace auditor must find it invariant-clean.
 fn run_threads(
     kind: SystemKind,
     cfg: MachineConfig,
     bodies: Vec<ThreadFn<TmShared>>,
 ) -> SimResult<TmShared> {
-    let shared = TmShared::standard(kind, &cfg);
+    let mut shared = TmShared::standard(kind, &cfg);
+    shared.trace.enable(1 << 16);
     let machine = Machine::new(cfg);
-    Sim::new(machine, shared).run(bodies)
+    let r = Sim::new(machine, shared).run(bodies);
+    audit_log(&r.shared.trace).assert_clean();
+    r
 }
 
 /// N threads × `iters` counter increments with some compute.

@@ -168,6 +168,7 @@ impl Machine {
                 .saturating_mul(responders);
             self.charge(cpu, self.cfg.costs.nack_retry + delay);
             self.stats.cpus[cpu].nacks += 1;
+            self.stats.cpus[cpu].nack_stall_cycles += self.cfg.costs.nack_retry + delay;
             self.chaos_record(cpu, ChaosFaultKind::CoherenceNack);
             return Err(AccessError::Nacked);
         }
@@ -193,6 +194,7 @@ impl Machine {
                         // An older transaction holds the line: nack.
                         self.charge(cpu, self.cfg.costs.nack_retry);
                         self.stats.cpus[cpu].nacks += 1;
+                        self.stats.cpus[cpu].nack_stall_cycles += self.cfg.costs.nack_retry;
                         return Err(AccessError::Nacked);
                     }
                 }

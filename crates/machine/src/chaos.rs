@@ -212,6 +212,25 @@ impl ChaosStats {
             + self.swap_thrashes
     }
 
+    /// Adds another machine's injection counters into this one.
+    ///
+    /// Destructures exhaustively so a newly added counter is a compile
+    /// error until it is merged.
+    pub fn merge(&mut self, other: &ChaosStats) {
+        let ChaosStats {
+            spurious_aborts,
+            forced_evictions,
+            injected_nacks,
+            ufo_set_retries,
+            swap_thrashes,
+        } = other;
+        self.spurious_aborts += spurious_aborts;
+        self.forced_evictions += forced_evictions;
+        self.injected_nacks += injected_nacks;
+        self.ufo_set_retries += ufo_set_retries;
+        self.swap_thrashes += swap_thrashes;
+    }
+
     fn bump(&mut self, kind: ChaosFaultKind) {
         let c = match kind {
             ChaosFaultKind::SpuriousAbort => &mut self.spurious_aborts,

@@ -90,9 +90,21 @@ impl fmt::Debug for Machine {
 
 impl Machine {
     /// Builds a machine from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cfg.cpus` is in `1..=64`. The software layers above
+    /// (notably the USTM ownership table) encode CPU sets as `u64` bitmasks,
+    /// so a 65th CPU would silently alias CPU 0 via the masked shift. The
+    /// named constructors already assert this, but `MachineConfig` is a
+    /// plain struct — this guard cannot be bypassed by literal construction.
     #[must_use]
     pub fn new(cfg: MachineConfig) -> Self {
         let cpus = cfg.cpus;
+        assert!(
+            (1..=64).contains(&cpus),
+            "cpus must be in 1..=64 (owner masks are u64 bitmasks), got {cpus}"
+        );
         let first_timer = cfg.timer_quantum.unwrap_or(u64::MAX);
         Machine {
             mem: MemImage::new(cfg.memory_words),
@@ -504,6 +516,17 @@ impl Machine {
 mod tests {
     use super::*;
     use crate::MachineConfig;
+
+    #[test]
+    #[should_panic(expected = "cpus must be in 1..=64")]
+    fn more_than_64_cpus_is_rejected() {
+        // Regression: the named MachineConfig constructors assert the CPU
+        // range, but a struct-literal config could bypass them; owner masks
+        // above the machine are u64 bitmasks, so CPU 64 would alias CPU 0.
+        let mut cfg = MachineConfig::small(2);
+        cfg.cpus = 65;
+        let _ = Machine::new(cfg);
+    }
 
     #[test]
     fn btm_commit_publishes_writes() {

@@ -27,6 +27,10 @@ pub struct CpuStats {
     pub interrupts: u64,
     /// Cycles spent in explicit stalls (`stall`).
     pub stall_cycles: u64,
+    /// Cycles charged to nack retries (coherence back-pressure), including
+    /// injected-nack responder delay. Table 4-style attribution: this is
+    /// the "waiting on the interconnect" share of a run.
+    pub nack_stall_cycles: u64,
 }
 
 impl CpuStats {
@@ -47,18 +51,35 @@ impl CpuStats {
     }
 
     /// Adds another CPU's counters into this one.
+    ///
+    /// Destructures exhaustively: adding a field to [`CpuStats`] will not
+    /// compile until it is merged here, so `aggregate()` can never silently
+    /// drop a new counter.
     pub fn merge(&mut self, other: &CpuStats) {
-        self.btm_commits += other.btm_commits;
-        for (&r, &n) in &other.btm_aborts {
+        let CpuStats {
+            btm_commits,
+            btm_aborts,
+            accesses,
+            l1_misses,
+            l2_misses,
+            nacks,
+            ufo_faults,
+            interrupts,
+            stall_cycles,
+            nack_stall_cycles,
+        } = other;
+        self.btm_commits += btm_commits;
+        for (&r, &n) in btm_aborts {
             *self.btm_aborts.entry(r).or_insert(0) += n;
         }
-        self.accesses += other.accesses;
-        self.l1_misses += other.l1_misses;
-        self.l2_misses += other.l2_misses;
-        self.nacks += other.nacks;
-        self.ufo_faults += other.ufo_faults;
-        self.interrupts += other.interrupts;
-        self.stall_cycles += other.stall_cycles;
+        self.accesses += accesses;
+        self.l1_misses += l1_misses;
+        self.l2_misses += l2_misses;
+        self.nacks += nacks;
+        self.ufo_faults += ufo_faults;
+        self.interrupts += interrupts;
+        self.stall_cycles += stall_cycles;
+        self.nack_stall_cycles += nack_stall_cycles;
     }
 }
 

@@ -37,6 +37,34 @@ pub struct SwapStats {
     pub all_clear_fast_path: u64,
     /// Page-ins that restored saved UFO bits.
     pub ufo_pages_restored: u64,
+    /// Saved UFO line bits that could not be restored on page-in because the
+    /// line fell outside configured memory. Losing protection silently would
+    /// break strong atomicity, so any occurrence is a bug: debug builds
+    /// assert, release builds count it here so the run report surfaces it.
+    pub ufo_bits_dropped: u64,
+}
+
+impl SwapStats {
+    /// Adds another machine's paging counters into this one.
+    ///
+    /// Destructures exhaustively so a newly added counter is a compile
+    /// error until it is merged.
+    pub fn merge(&mut self, other: &SwapStats) {
+        let SwapStats {
+            page_ins,
+            page_outs,
+            ufo_pages_saved,
+            all_clear_fast_path,
+            ufo_pages_restored,
+            ufo_bits_dropped,
+        } = other;
+        self.page_ins += page_ins;
+        self.page_outs += page_outs;
+        self.ufo_pages_saved += ufo_pages_saved;
+        self.all_clear_fast_path += all_clear_fast_path;
+        self.ufo_pages_restored += ufo_pages_restored;
+        self.ufo_bits_dropped += ufo_bits_dropped;
+    }
 }
 
 #[derive(Debug)]
@@ -156,6 +184,17 @@ impl Machine {
                 let line = crate::addr::LineAddr(first.0 + i as u64);
                 if line.index() < self.cfg.memory_lines() {
                     self.dir.set_ufo(line, b);
+                } else {
+                    // page_out truncates the save at memory_lines(), so a
+                    // saved bit for an out-of-range line means the save and
+                    // restore disagree about the memory size — protection
+                    // would be silently lost.
+                    debug_assert!(
+                        false,
+                        "saved UFO bits for out-of-range {line:?} (memory has {} lines)",
+                        self.cfg.memory_lines()
+                    );
+                    swap.stats.ufo_bits_dropped += 1;
                 }
             }
         }

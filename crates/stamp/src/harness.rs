@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use ufotm_core::{HybridPolicy, SystemKind, TmShared, TmThread};
+use ufotm_core::{HybridPolicy, RunReport, SystemKind, TmShared, TmThread};
 use ufotm_machine::{AbortReason, Addr, Machine, MachineConfig};
 use ufotm_sim::{Ctx, Sim, ThreadFn};
 use ufotm_tl2::Tl2Stats;
@@ -42,6 +42,11 @@ pub struct RunSpec {
     /// Override the USTM otable bin count (default: the standard layout's
     /// 16384). Used by the otable-size ablation.
     pub otable_bins_override: Option<u64>,
+    /// Trace-journal cap in events (0 = tracing off). Enabling tracing
+    /// populates the report's latency/retry histograms and runs the trace
+    /// auditor over the run; recording is host-side only and charges no
+    /// simulated cycles, so results are unchanged either way.
+    pub trace_cap: usize,
 }
 
 impl RunSpec {
@@ -61,6 +66,7 @@ impl RunSpec {
             quantum: 0,
             seed: 0xC0FF_EE11,
             otable_bins_override: None,
+            trace_cap: 0,
         }
     }
 
@@ -113,6 +119,11 @@ pub struct RunOutcome {
     pub ufo_faults: u64,
     /// Cycles spent in explicit stalls.
     pub stall_cycles: u64,
+    /// The full run report (deterministic JSON via
+    /// [`RunReport::to_json`]). When the spec enabled tracing, collection
+    /// already audited the journal: `report.trace.audit_violations` is 0
+    /// for any correct run.
+    pub report: RunReport,
 }
 
 impl RunOutcome {
@@ -152,7 +163,10 @@ pub fn run_workload(
     if let Some(bins) = spec.otable_bins_override {
         layout.otable_bins = bins;
     }
-    let tm = TmShared::new(spec.kind, cfg.cpus, layout);
+    let mut tm = TmShared::new(spec.kind, cfg.cpus, layout);
+    if spec.trace_cap > 0 {
+        tm.trace.enable(spec.trace_cap);
+    }
     let mut machine = Machine::new(cfg);
     let mut world = StampWorld {
         tm,
@@ -176,6 +190,7 @@ pub fn run_workload(
     verify(&r.machine, &r.shared);
 
     let agg = r.machine.stats().aggregate();
+    let report = RunReport::collect(spec.seed, &r.machine, &r.shared.tm);
     RunOutcome {
         kind: spec.kind,
         threads: spec.threads,
@@ -195,6 +210,7 @@ pub fn run_workload(
         nacks: agg.nacks,
         ufo_faults: agg.ufo_faults,
         stall_cycles: agg.stall_cycles,
+        report,
     }
 }
 

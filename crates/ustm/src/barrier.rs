@@ -155,6 +155,7 @@ impl UstmTxn {
                     return Err(by);
                 }
                 mop(m.work(cpu, u.config.barrier_hit_cost));
+                u.stats.barrier_cycles += u.config.barrier_hit_cost;
                 Ok(mop(m.load(cpu, addr)))
             });
             return match r {
@@ -191,6 +192,7 @@ impl UstmTxn {
                     return Err(by);
                 }
                 mop(m.work(cpu, u.config.barrier_hit_cost));
+                u.stats.barrier_cycles += u.config.barrier_hit_cost;
                 mop(m.store(cpu, addr, value));
                 Ok(())
             });
@@ -400,6 +402,7 @@ impl UstmTxn {
         ctx.with(|w| {
             let m = &mut w.machine;
             let u = w.shared.ustm();
+            let start = m.now(cpu);
             let strong = u.config.strong_atomicity;
             let bin = u.otable.bin_addr_of(line);
             mop(m.work(cpu, u.config.cas_cost));
@@ -409,6 +412,7 @@ impl UstmTxn {
             if removed && strong {
                 mop(m.set_ufo_bits(cpu, line.base_addr(), UfoBits::NONE));
             }
+            u.stats.barrier_cycles += m.now(cpu) - start;
         });
         self.owned.remove(&line);
     }
@@ -431,12 +435,13 @@ impl UstmTxn {
                 if let Some(by) = u.slots[cpu].doomed_by {
                     return Acquire::Doomed { by };
                 }
+                let start = m.now(cpu);
                 let strong = u.config.strong_atomicity;
                 let bin = u.otable.bin_addr_of(line);
                 mop(m.work(cpu, u.config.cas_cost));
                 mop(m.load(cpu, bin));
                 let found = u.otable.lookup(line);
-                match found {
+                let out = match found {
                     None => {
                         u.otable.insert(line, want, cpu);
                         mop(m.store(cpu, bin, u.otable.chain_len(line) as u64));
@@ -480,7 +485,11 @@ impl UstmTxn {
                             resolve_conflict(u, cpu, my_ts, &e)
                         }
                     }
-                }
+                };
+                u.stats.barrier_cycles += m.now(cpu) - start;
+                u.stats.max_chain_seen =
+                    u.stats.max_chain_seen.max(u.otable.chain_len(line) as u64);
+                out
             });
             match outcome {
                 Acquire::Done => {
@@ -505,11 +514,13 @@ impl UstmTxn {
         ctx.with(|w| {
             let m = &mut w.machine;
             let u = w.shared.ustm();
+            let start = m.now(cpu);
             mop(m.work(cpu, u.config.log_cost));
             let a0 = u.log_addr(cpu, n);
             let a1 = u.log_addr(cpu, n + 1);
             mop(m.store(cpu, a0, line.base_addr().0));
             mop(m.store(cpu, a1, words[0]));
+            u.stats.barrier_cycles += m.now(cpu) - start;
         });
         self.undo.push((line, words));
     }

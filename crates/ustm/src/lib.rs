@@ -35,7 +35,7 @@ mod txn;
 
 pub use barrier::UstmTxn;
 pub use nont::{nont_load, nont_store, NonTFaultPolicy};
-pub use otable::{Otable, OtableEntry, Perm};
+pub use otable::{Otable, OtableEntry, OtableOccupancy, Perm};
 pub use retry::retry_wait;
 pub use txn::{TxnSlot, TxnStatus, UstmConfig, UstmShared, UstmStats};
 

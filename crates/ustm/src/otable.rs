@@ -36,17 +36,32 @@ pub struct OtableEntry {
     pub owners: u64,
 }
 
+/// Owner masks are `u64`, so only CPUs 0..=63 are representable. With a
+/// larger id, `1 << cpu` is a masked shift in release builds and CPU 64
+/// silently aliases CPU 0, corrupting ownership. [`Machine::new`] rejects
+/// configurations with more than 64 CPUs; these debug assertions catch any
+/// other caller handing an out-of-range id straight to the table.
+///
+/// [`Machine::new`]: ufotm_machine::Machine::new
+fn owner_bit(cpu: usize) -> u64 {
+    debug_assert!(
+        cpu < 64,
+        "otable owner masks are u64: cpu {cpu} out of range"
+    );
+    1u64 << (cpu & 63)
+}
+
 impl OtableEntry {
     /// Whether `cpu` is among the owners.
     #[must_use]
     pub fn owned_by(&self, cpu: usize) -> bool {
-        self.owners & (1 << cpu) != 0
+        self.owners & owner_bit(cpu) != 0
     }
 
     /// Whether `cpu` is the *sole* owner.
     #[must_use]
     pub fn sole_owner(&self, cpu: usize) -> bool {
-        self.owners == 1 << cpu
+        self.owners == owner_bit(cpu)
     }
 
     /// Iterates over owner CPU ids.
@@ -145,7 +160,7 @@ impl Otable {
             OtableEntry {
                 line,
                 perm,
-                owners: 1 << cpu,
+                owners: owner_bit(cpu),
             },
         );
     }
@@ -162,7 +177,7 @@ impl Otable {
             .find(|e| e.line == line)
             .expect("add_reader on missing entry");
         assert_eq!(e.perm, Perm::Read, "add_reader on write entry");
-        e.owners |= 1 << cpu;
+        e.owners |= owner_bit(cpu);
     }
 
     /// Upgrades `cpu`'s sole read entry to write permission.
@@ -214,7 +229,7 @@ impl Otable {
             .expect("release of unowned line");
         let e = &mut self.bins[idx][pos];
         assert!(e.owned_by(cpu), "cpu {cpu} does not own {line:?}");
-        e.owners &= !(1u64 << cpu);
+        e.owners &= !owner_bit(cpu);
         if e.owners == 0 {
             self.bins[idx].remove(pos);
             true
@@ -237,6 +252,43 @@ impl Otable {
             .iter()
             .any(|e| e.line != line)
     }
+
+    /// A point-in-time chain-length / aliasing summary of the table.
+    #[must_use]
+    pub fn occupancy(&self) -> OtableOccupancy {
+        let mut occ = OtableOccupancy {
+            bins: self.bins(),
+            ..OtableOccupancy::default()
+        };
+        for bin in &self.bins {
+            let len = bin.len() as u64;
+            occ.live_entries += len;
+            if len > 0 {
+                occ.occupied_bins += 1;
+            }
+            if len > 1 {
+                occ.aliased_bins += 1;
+            }
+            occ.max_chain = occ.max_chain.max(len);
+        }
+        occ
+    }
+}
+
+/// A snapshot of how full and how aliased the otable is (all counts in
+/// entries/bins; see [`Otable::occupancy`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OtableOccupancy {
+    /// Total hash bins.
+    pub bins: u64,
+    /// Live entries across all bins.
+    pub live_entries: u64,
+    /// Bins holding at least one entry.
+    pub occupied_bins: u64,
+    /// Bins holding two or more entries (lookups there walk a chain).
+    pub aliased_bins: u64,
+    /// Longest chain in the table.
+    pub max_chain: u64,
 }
 
 #[cfg(test)]
@@ -331,6 +383,32 @@ mod tests {
         let mut t = table();
         t.insert(LineAddr(1), Perm::Read, 0);
         t.insert(LineAddr(1), Perm::Read, 1);
+    }
+
+    #[test]
+    fn full_width_owner_masks_do_not_alias() {
+        // Regression: cpu 63 uses the top mask bit; releasing it must not
+        // disturb cpu 0 (which a masked `1 << 64`-style overflow would hit).
+        let mut t = table();
+        let l = LineAddr(11);
+        t.insert(l, Perm::Read, 0);
+        t.add_reader(l, 63);
+        let (_, e) = t.lookup(l).unwrap();
+        assert!(e.owned_by(0) && e.owned_by(63) && !e.owned_by(1));
+        assert_eq!(e.owner_cpus().collect::<Vec<_>>(), vec![0, 63]);
+        assert!(!t.release(l, 63));
+        let (_, e) = t.lookup(l).unwrap();
+        assert!(e.owned_by(0), "release of cpu 63 must not clear cpu 0");
+        assert!(!e.owned_by(63));
+        assert!(t.release(l, 0));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_cpu_is_rejected_in_debug() {
+        let mut t = table();
+        t.insert(LineAddr(1), Perm::Read, 64);
     }
 
     #[test]

@@ -115,6 +115,13 @@ pub struct UstmStats {
     pub retries_entered: u64,
     /// `retry` sleepers woken by writers.
     pub retries_woken: u64,
+    /// Cycles charged inside read/write barriers (otable CAS + bin traffic,
+    /// chain walks, UFO bit updates, undo logging, barrier hits) — the
+    /// Table 4-style "instrumentation" share of a run.
+    pub barrier_cycles: u64,
+    /// Longest otable hash chain observed by any barrier (aliasing
+    /// indicator alongside `chain_walks`).
+    pub max_chain_seen: u64,
 }
 
 /// All shared USTM state, embedded in the simulation world.
