@@ -11,7 +11,7 @@ use std::time::Instant;
 use ufotm_bench::{header, quick, ArtifactWriter};
 use ufotm_core::{SystemKind, TmShared, TmThread};
 use ufotm_machine::{Addr, LineAddr, Machine, MachineConfig, SimAlloc};
-use ufotm_sim::{Ctx, Sim, ThreadFn};
+use ufotm_sim::{Ctx, HandoffMode, Sim, ThreadFn};
 use ufotm_ustm::{Otable, Perm};
 
 /// Times `iters` runs of `body` and prints ns/iter.
@@ -73,6 +73,34 @@ fn bench_machine_access() {
     });
 }
 
+fn bench_engine_handoff() {
+    // Raw scheduler cost in isolation: threads ping-pong one cache line at
+    // quantum 0, so every single operation transfers the line and the
+    // designation. Broadcast is the legacy notify_all engine, kept in-tree
+    // as the comparison baseline (see perf_wallclock for the gated ratio).
+    for (name, mode) in [
+        ("engine_handoff_4cpu_targeted", HandoffMode::Targeted),
+        ("engine_handoff_4cpu_broadcast", HandoffMode::Broadcast),
+    ] {
+        const OPS: u64 = 1_000;
+        bench(name, scale(40), || {
+            let machine = Machine::new(MachineConfig::small(4));
+            let bodies: Vec<ThreadFn<()>> = (0..4)
+                .map(|cpu| -> ThreadFn<()> {
+                    Box::new(move |ctx: &mut Ctx<()>| {
+                        let line = Addr::from_word_index(0);
+                        for i in 0..OPS {
+                            ctx.store(line, cpu as u64 * OPS + i).expect("plain store");
+                        }
+                    })
+                })
+                .collect();
+            let r = Sim::new(machine, ()).handoff_mode(mode).run(bodies);
+            std::hint::black_box(r.makespan);
+        });
+    }
+}
+
 fn bench_end_to_end() {
     bench("sim_1k_hybrid_txns_2cpu", scale(20), || {
         let cfg = MachineConfig::table4(2);
@@ -103,6 +131,7 @@ fn main() {
     bench_otable();
     bench_alloc();
     bench_machine_access();
+    bench_engine_handoff();
     bench_end_to_end();
     // Host-time measurements are nondeterministic by nature, so they stay
     // out of the artifact; the (empty) file keeps the per-bench contract.

@@ -1,0 +1,138 @@
+//! Host wall-clock performance of the simulator (not simulated cycles).
+//!
+//! Two measurements, both recorded in `BENCH_perf_wallclock.json`:
+//!
+//! 1. **Raw handoff throughput** — 8 threads ping-ponging one cache line at
+//!    quantum 0, so every operation is a scheduler handoff. Run under both
+//!    [`HandoffMode::Targeted`] (the production fast path) and
+//!    [`HandoffMode::Broadcast`] (the legacy `notify_all` engine); the
+//!    speedup ratio is asserted ≥ 2×.
+//! 2. **End-to-end ns/simulated-cycle** — the failover microbenchmark on
+//!    the UFO hybrid, host nanoseconds divided by the simulated makespan.
+//!    If `$UFOTM_PERF_BASELINE` names a baseline file (the committed
+//!    `crates/bench/perf_baseline.json`), the bench fails when the measured
+//!    value regresses more than 3× over it — generous on purpose, to absorb
+//!    runner noise while still catching order-of-magnitude regressions.
+
+use ufotm_bench::{header, quick, ArtifactWriter, HostMetrics};
+use ufotm_core::SystemKind;
+use ufotm_machine::{Addr, Machine, MachineConfig};
+use ufotm_sim::{Ctx, HandoffMode, Sim, ThreadFn};
+use ufotm_stamp::harness::RunSpec;
+use ufotm_stamp::micro::{self, MicroParams};
+
+const HANDOFF_CPUS: usize = 8;
+
+/// One cache line, `HANDOFF_CPUS` threads storing to it in lockstep at
+/// quantum 0: every operation transfers the line *and* the designation.
+fn handoff_run(mode: HandoffMode, ops: u64) -> HostMetrics {
+    let machine = Machine::new(MachineConfig::small(HANDOFF_CPUS));
+    let bodies: Vec<ThreadFn<()>> = (0..HANDOFF_CPUS)
+        .map(|cpu| -> ThreadFn<()> {
+            Box::new(move |ctx: &mut Ctx<()>| {
+                let line = Addr::from_word_index(0);
+                for i in 0..ops {
+                    ctx.store(line, cpu as u64 * ops + i).expect("plain store");
+                }
+            })
+        })
+        .collect();
+    let (host, ()) = HostMetrics::measure(|| {
+        let r = Sim::new(machine, ()).handoff_mode(mode).run(bodies);
+        (r.makespan, ())
+    });
+    host
+}
+
+/// Extracts the `"ns_per_cycle"` value from a baseline JSON file without a
+/// JSON dependency.
+fn parse_ns_per_cycle(json: &str) -> Option<f64> {
+    let key = "\"ns_per_cycle\"";
+    let rest = &json[json.find(key)? + key.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Enforces the committed-baseline regression gate when armed.
+fn check_baseline(measured: f64) {
+    let Ok(path) = std::env::var("UFOTM_PERF_BASELINE") else {
+        println!("(UFOTM_PERF_BASELINE unset: regression gate skipped)");
+        return;
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading perf baseline {path}: {e}"));
+    let baseline = parse_ns_per_cycle(&text).unwrap_or_else(|| panic!("no ns_per_cycle in {path}"));
+    let limit = baseline * 3.0;
+    println!(
+        "regression gate: measured {measured:.3} ns/cycle vs baseline {baseline:.3} (limit {limit:.3})"
+    );
+    assert!(
+        measured <= limit,
+        "host performance regression: {measured:.3} ns/simulated-cycle exceeds \
+         3x the committed baseline of {baseline:.3} (see crates/bench/perf_baseline.json)"
+    );
+}
+
+fn main() {
+    header("Host wall-clock performance (ns are host time, not simulated)");
+    let mut art = ArtifactWriter::new("perf_wallclock");
+
+    // 1. Raw handoff throughput, targeted vs broadcast.
+    let ops: u64 = if quick() { 5_000 } else { 40_000 };
+    let total_ops = ops * HANDOFF_CPUS as u64;
+    let targeted = handoff_run(HandoffMode::Targeted, ops);
+    let broadcast = handoff_run(HandoffMode::Broadcast, ops);
+    assert_eq!(
+        targeted.sim_cycles, broadcast.sim_cycles,
+        "modes must simulate identically"
+    );
+    let tput = |h: &HostMetrics| total_ops as f64 * 1e9 / h.ns.max(1) as f64;
+    println!(
+        "handoff/8cpu  targeted  {:>12.0} ops/s  ({} ops in {} ms)",
+        tput(&targeted),
+        total_ops,
+        targeted.ns / 1_000_000
+    );
+    println!(
+        "handoff/8cpu  broadcast {:>12.0} ops/s  ({} ops in {} ms)",
+        tput(&broadcast),
+        total_ops,
+        broadcast.ns / 1_000_000
+    );
+    let speedup = broadcast.ns as f64 / targeted.ns.max(1) as f64;
+    println!("handoff speedup (targeted over broadcast): {speedup:.2}x");
+    art.push_host("handoff/8cpu/targeted", targeted);
+    art.push_host("handoff/8cpu/broadcast", broadcast);
+    art.metric("handoff_speedup_8cpu", speedup);
+
+    // 2. End-to-end ns per simulated cycle on a representative hybrid run.
+    // Deliberately not shrunk under quick mode: the run takes ~10 ms and a
+    // shorter one would let setup cost dominate the ns/cycle ratio, making
+    // the regression gate noisy.
+    let params = MicroParams::with_rate(0.1);
+    let spec = RunSpec::new(SystemKind::UfoHybrid, 4);
+    let (host, outcome) = HostMetrics::measure(|| {
+        let o = micro::run(&spec, &params);
+        (o.makespan, o)
+    });
+    println!(
+        "micro/ufo-hybrid/4T: {} sim cycles in {} us -> {:.3} ns/cycle",
+        host.sim_cycles,
+        host.ns / 1_000,
+        host.ns_per_cycle()
+    );
+    art.metric("ns_per_sim_cycle", host.ns_per_cycle());
+    art.push_with_host("micro/ufo-hybrid/4T", &outcome, host);
+
+    art.finish();
+
+    check_baseline(host.ns_per_cycle());
+    assert!(
+        speedup >= 2.0,
+        "targeted handoff must be at least 2x the broadcast engine at \
+         {HANDOFF_CPUS} CPUs, measured {speedup:.2}x"
+    );
+}

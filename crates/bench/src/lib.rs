@@ -172,16 +172,69 @@ pub fn spec(kind: SystemKind, threads: usize) -> RunSpec {
     RunSpec::new(kind, threads)
 }
 
+/// Host-side wall-clock measurement of one run, recorded alongside the
+/// simulated counters so host regressions are visible in `BENCH_*.json`.
+///
+/// Unlike everything else in the artifact, these numbers depend on the host
+/// machine and are *not* byte-deterministic across runs — compare them as
+/// trends (the CI gate allows a generous 3× band), not as exact values.
+#[derive(Clone, Copy, Debug)]
+pub struct HostMetrics {
+    /// Wall-clock nanoseconds the run took on the host.
+    pub ns: u64,
+    /// Simulated cycles covered (normally the run's makespan).
+    pub sim_cycles: u64,
+}
+
+impl HostMetrics {
+    /// Measures the wall-clock time of `f` against the simulated cycles it
+    /// reports back.
+    pub fn measure<R>(f: impl FnOnce() -> (u64, R)) -> (Self, R) {
+        let start = std::time::Instant::now();
+        let (sim_cycles, r) = f();
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        (HostMetrics { ns, sim_cycles }, r)
+    }
+
+    /// Host nanoseconds spent per simulated cycle — the headline number the
+    /// perf gate tracks.
+    #[must_use]
+    pub fn ns_per_cycle(&self) -> f64 {
+        self.ns as f64 / self.sim_cycles.max(1) as f64
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"ns\":{},\"sim_cycles\":{},\"ns_per_cycle\":{:.4}}}",
+            self.ns,
+            self.sim_cycles,
+            self.ns_per_cycle()
+        )
+    }
+}
+
+/// One recorded run: a label plus an optional simulated report and optional
+/// host timing.
+#[derive(Debug)]
+struct RunRecord {
+    label: String,
+    report: Option<String>,
+    host: Option<HostMetrics>,
+}
+
 /// Accumulates [`RunReport`](ufotm_core::RunReport)s from a bench target
 /// and writes them as one `BENCH_<name>.json` machine-readable artifact.
 ///
 /// The artifact is deterministic byte-for-byte across same-seed runs: run
 /// order is push order (the bench's fixed sweep order) and each report
 /// serializes integers with fixed key order — see `docs/RUN_REPORT.md`.
+/// Runs recorded with [`HostMetrics`] additionally carry a `"host"` object,
+/// which is wall-clock data and exempt from the byte-determinism guarantee.
 #[derive(Debug)]
 pub struct ArtifactWriter {
     name: &'static str,
-    runs: Vec<(String, String)>,
+    runs: Vec<RunRecord>,
+    metrics: Vec<(String, f64)>,
 }
 
 impl ArtifactWriter {
@@ -192,12 +245,47 @@ impl ArtifactWriter {
         ArtifactWriter {
             name,
             runs: Vec::new(),
+            metrics: Vec::new(),
         }
+    }
+
+    /// Records a named scalar result (emitted as a top-level `"metrics"`
+    /// object), e.g. a computed speedup ratio.
+    pub fn metric(&mut self, key: impl Into<String>, value: f64) {
+        self.metrics.push((key.into(), value));
     }
 
     /// Records one run under a label like `"vacation/ufo-hybrid/4T"`.
     pub fn push(&mut self, label: impl Into<String>, outcome: &RunOutcome) {
-        self.runs.push((label.into(), outcome.report.to_json()));
+        self.runs.push(RunRecord {
+            label: label.into(),
+            report: Some(outcome.report.to_json()),
+            host: None,
+        });
+    }
+
+    /// Records one run with host wall-clock timing attached.
+    pub fn push_with_host(
+        &mut self,
+        label: impl Into<String>,
+        outcome: &RunOutcome,
+        host: HostMetrics,
+    ) {
+        self.runs.push(RunRecord {
+            label: label.into(),
+            report: Some(outcome.report.to_json()),
+            host: Some(host),
+        });
+    }
+
+    /// Records a host-timing-only run (no simulated report), e.g. a raw
+    /// engine micro-measurement.
+    pub fn push_host(&mut self, label: impl Into<String>, host: HostMetrics) {
+        self.runs.push(RunRecord {
+            label: label.into(),
+            report: None,
+            host: Some(host),
+        });
     }
 
     /// Number of runs recorded so far.
@@ -212,31 +300,51 @@ impl ArtifactWriter {
         self.runs.is_empty()
     }
 
-    /// The artifact body (deterministic JSON).
+    /// The artifact body (deterministic JSON apart from `"host"` objects).
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"bench\":\"");
         out.push_str(self.name);
         out.push_str("\",\"runs\":[");
-        for (i, (label, report)) in self.runs.iter().enumerate() {
+        for (i, run) in self.runs.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str("{\"label\":\"");
             // Labels are bench-authored slugs; escape the two JSON-special
             // characters anyway so a stray quote cannot corrupt the file.
-            for c in label.chars() {
+            for c in run.label.chars() {
                 match c {
                     '"' => out.push_str("\\\""),
                     '\\' => out.push_str("\\\\"),
                     c => out.push(c),
                 }
             }
-            out.push_str("\",\"report\":");
-            out.push_str(report);
+            out.push('"');
+            if let Some(report) = &run.report {
+                out.push_str(",\"report\":");
+                out.push_str(report);
+            }
+            if let Some(host) = run.host {
+                out.push_str(",\"host\":");
+                out.push_str(&host.to_json());
+            }
             out.push('}');
         }
-        out.push_str("]}");
+        out.push(']');
+        if !self.metrics.is_empty() {
+            out.push_str(",\"metrics\":{");
+            for (i, (k, v)) in self.metrics.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(k);
+                out.push_str(&format!("\":{v:.4}"));
+            }
+            out.push('}');
+        }
+        out.push('}');
         out
     }
 

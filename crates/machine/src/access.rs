@@ -8,6 +8,7 @@
 //! hardware transactions zero-overhead.
 
 use crate::addr::{Addr, LineAddr};
+use crate::bits::BitIter;
 use crate::btm::{AbortInfo, AbortReason};
 use crate::cache::L1Insert;
 use crate::chaos::ChaosFaultKind;
@@ -78,10 +79,12 @@ impl Machine {
                 self.l1[cpu].touch(line);
             } else {
                 self.arbitrate(cpu, line, true)?;
-                // Invalidate all other cached copies.
-                let others: Vec<CpuId> = self.dir.holders_except(line, cpu).collect();
-                let transfer = !others.is_empty();
-                for o in others {
+                // Invalidate all other cached copies. The holder mask is
+                // copied out first so the machine can be mutated per holder
+                // without an intermediate Vec.
+                let others = self.dir.holders_mask_except(line, cpu);
+                let transfer = others != 0;
+                for o in BitIter::new(others) {
                     if let Some(e) = self.l1[o].invalidate(line) {
                         if e.dirty {
                             self.charge(cpu, self.cfg.costs.writeback);
@@ -172,17 +175,20 @@ impl Machine {
             self.chaos_record(cpu, ChaosFaultKind::CoherenceNack);
             return Err(AccessError::Nacked);
         }
-        let conflictors: Vec<CpuId> = (0..self.cfg.cpus)
-            .filter(|&o| o != cpu)
-            .filter(|&o| {
-                if is_write {
-                    self.btm[o].holds_spec(line)
-                } else {
-                    self.btm[o].wrote_spec(line)
-                }
-            })
-            .collect();
-        if conflictors.is_empty() {
+        // Only CPUs inside a transaction can hold speculative state, so the
+        // scan walks the live-transaction mask instead of 0..cpus.
+        let mut conflictors = 0u64;
+        for o in BitIter::new(self.live_txns & !(1u64 << cpu)) {
+            let conflicts = if is_write {
+                self.btm[o].holds_spec(line)
+            } else {
+                self.btm[o].wrote_spec(line)
+            };
+            if conflicts {
+                conflictors |= 1u64 << o;
+            }
+        }
+        if conflictors == 0 {
             return Ok(());
         }
         let requester_txn = self.btm[cpu].active && self.btm[cpu].doomed.is_none();
@@ -190,7 +196,7 @@ impl Machine {
             match self.cfg.hw_cm {
                 HwCmPolicy::AgeOrdered => {
                     let my_ts = self.btm[cpu].ts;
-                    if conflictors.iter().any(|&o| self.btm[o].ts < my_ts) {
+                    if BitIter::new(conflictors).any(|o| self.btm[o].ts < my_ts) {
                         // An older transaction holds the line: nack.
                         self.charge(cpu, self.cfg.costs.nack_retry);
                         self.stats.cpus[cpu].nacks += 1;
@@ -200,11 +206,11 @@ impl Machine {
                 }
                 HwCmPolicy::RequesterWins => {}
             }
-            for o in conflictors {
+            for o in BitIter::new(conflictors) {
                 self.doom(o, AbortInfo::at(AbortReason::Conflict, line.base_addr()));
             }
         } else {
-            for o in conflictors {
+            for o in BitIter::new(conflictors) {
                 self.doom(
                     o,
                     AbortInfo::at(AbortReason::NonTConflict, line.base_addr()),
@@ -320,8 +326,8 @@ impl Machine {
 
         // Kill speculative holders per policy (under the faithful protocol
         // the copies are invalidated by the exclusive acquisition below).
-        for o in 0..self.cfg.cpus {
-            if o == cpu || !self.btm[o].holds_spec(line) {
+        for o in BitIter::new(self.live_txns & !(1u64 << cpu)) {
+            if !self.btm[o].holds_spec(line) {
                 continue;
             }
             let true_conflict =
@@ -349,9 +355,9 @@ impl Machine {
             self.dir.add_sharer(line, cpu);
         } else {
             // Acquire exclusive permission: invalidate all other copies.
-            let others: Vec<CpuId> = self.dir.holders_except(line, cpu).collect();
-            let transfer = !others.is_empty();
-            for o in others {
+            let others = self.dir.holders_mask_except(line, cpu);
+            let transfer = others != 0;
+            for o in BitIter::new(others) {
                 if let Some(e) = self.l1[o].invalidate(line) {
                     if e.dirty {
                         self.charge(cpu, self.cfg.costs.writeback);

@@ -1,0 +1,82 @@
+//! Bitmask iteration for CPU sets.
+//!
+//! CPU sets throughout the machine (directory sharer masks, otable owner
+//! masks, the live-transaction set) are `u64` bitmasks — the machine asserts
+//! `cpus ∈ 1..=64`. Iterating them used to mean scanning a fixed `0..64`
+//! range and testing each bit; [`BitIter`] walks only the *set* bits via
+//! `trailing_zeros`, so the cost is proportional to the population count and
+//! naturally clamps to the CPUs that actually appear — a machine configured
+//! with 4 CPUs never loops 64 times.
+
+/// Iterator over the set-bit positions of a `u64`, ascending.
+#[derive(Clone, Copy, Debug)]
+pub struct BitIter(u64);
+
+impl BitIter {
+    /// Iterates the set bits of `mask` from least to most significant.
+    #[must_use]
+    pub fn new(mask: u64) -> Self {
+        BitIter(mask)
+    }
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let bit = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1; // clear the lowest set bit
+        Some(bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for BitIter {}
+
+impl std::iter::FusedIterator for BitIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_mask_yields_nothing() {
+        assert_eq!(BitIter::new(0).count(), 0);
+    }
+
+    #[test]
+    fn bits_come_out_ascending() {
+        let got: Vec<usize> = BitIter::new(0b1010_0110).collect();
+        assert_eq!(got, vec![1, 2, 5, 7]);
+    }
+
+    #[test]
+    fn extreme_bits_round_trip() {
+        let got: Vec<usize> = BitIter::new(1 | (1 << 63)).collect();
+        assert_eq!(got, vec![0, 63]);
+        assert_eq!(BitIter::new(u64::MAX).count(), 64);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let it = BitIter::new(0b1011);
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.size_hint(), (3, Some(3)));
+    }
+
+    #[test]
+    fn matches_naive_scan() {
+        for mask in [0u64, 1, 0xFF, 0xDEAD_BEEF_CAFE_F00D, u64::MAX] {
+            let naive: Vec<usize> = (0..64).filter(|i| mask & (1 << i) != 0).collect();
+            assert_eq!(BitIter::new(mask).collect::<Vec<_>>(), naive);
+        }
+    }
+}

@@ -225,9 +225,29 @@ pub(crate) struct BtmCpu {
     pub write_set: HashSet<LineAddr>,
     /// Last abort info (status register), surviving past the transaction.
     pub last_abort: Option<AbortInfo>,
+    /// Reusable drain buffer for the commit/abort paths (the write set and
+    /// write buffer cannot be iterated while the machine is mutated, so the
+    /// entries are staged here instead of a fresh `Vec` per transaction).
+    pub scratch_lines: Vec<LineAddr>,
+    /// Reusable drain buffer for publishing the speculative write buffer.
+    pub scratch_writes: Vec<(u64, u64)>,
 }
 
 impl BtmCpu {
+    /// State pre-sized for transactions up to `lines` cache lines, so the
+    /// steady state (transactions within L1 capacity) never reallocates.
+    /// Unbounded-mode transactions may still grow past this.
+    pub fn with_capacity(lines: usize) -> Self {
+        BtmCpu {
+            spec_writes: HashMap::with_capacity(lines * 2),
+            read_set: HashSet::with_capacity(lines),
+            write_set: HashSet::with_capacity(lines),
+            scratch_lines: Vec::with_capacity(lines),
+            scratch_writes: Vec::with_capacity(lines * 2),
+            ..Default::default()
+        }
+    }
+
     /// Whether this CPU holds `line` speculatively in a live transaction.
     pub fn holds_spec(&self, line: LineAddr) -> bool {
         self.active

@@ -99,7 +99,11 @@ impl L1Cache {
     pub fn new(geo: CacheGeometry) -> Self {
         L1Cache {
             geo,
-            sets: vec![Vec::new(); geo.sets()],
+            // Each set holds at most `ways` entries; reserving up front means
+            // fills never reallocate.
+            sets: (0..geo.sets())
+                .map(|_| Vec::with_capacity(geo.ways()))
+                .collect(),
             tick: 0,
         }
     }
@@ -150,8 +154,12 @@ impl L1Cache {
     /// transaction's lines are flash-cleared immediately after).
     pub fn insert(&mut self, line: LineAddr) -> L1Insert {
         let t = self.bump();
-        let set = self.geo.set_of(line);
-        if let Some(e) = self.sets[set].iter_mut().find(|e| e.line == line) {
+        let ways = self.geo.ways();
+        // Borrow the set slice once: every way scan below works on `set`
+        // directly instead of re-indexing (and re-bounds-checking)
+        // `self.sets[..]` per step.
+        let set = &mut self.sets[self.geo.set_of(line)];
+        if let Some(e) = set.iter_mut().find(|e| e.line == line) {
             e.lru = t;
             return L1Insert::Done;
         }
@@ -162,33 +170,31 @@ impl L1Cache {
             sw: false,
             lru: t,
         };
-        if self.sets[set].len() < self.geo.ways() {
-            self.sets[set].push(entry);
+        if set.len() < ways {
+            set.push(entry);
             return L1Insert::Done;
         }
         // Prefer the LRU non-speculative victim.
-        let victim_idx = self.sets[set]
+        let victim_idx = set
             .iter()
             .enumerate()
             .filter(|(_, e)| !e.sr && !e.sw)
             .min_by_key(|(_, e)| e.lru)
             .map(|(i, _)| i);
         if let Some(i) = victim_idx {
-            let victim = self.sets[set][i];
-            self.sets[set][i] = entry;
+            let victim = std::mem::replace(&mut set[i], entry);
             return L1Insert::Evicted {
                 victim: victim.line,
                 dirty: victim.dirty,
             };
         }
         // All ways hold speculative lines.
-        let (i, _) = self.sets[set]
+        let (i, _) = set
             .iter()
             .enumerate()
             .min_by_key(|(_, e)| e.lru)
             .expect("set has at least one way");
-        let victim = self.sets[set][i];
-        self.sets[set][i] = entry;
+        let victim = std::mem::replace(&mut set[i], entry);
         L1Insert::WouldOverflow {
             victim: victim.line,
             dirty: victim.dirty,
@@ -276,7 +282,9 @@ impl L2Cache {
     pub fn new(geo: CacheGeometry) -> Self {
         L2Cache {
             geo,
-            sets: vec![Vec::new(); geo.sets()],
+            sets: (0..geo.sets())
+                .map(|_| Vec::with_capacity(geo.ways()))
+                .collect(),
             tick: 0,
         }
     }
@@ -287,20 +295,21 @@ impl L2Cache {
     pub fn access(&mut self, line: LineAddr) -> bool {
         self.tick += 1;
         let t = self.tick;
-        let set = self.geo.set_of(line);
-        if let Some(e) = self.sets[set].iter_mut().find(|e| e.0 == line) {
+        let ways = self.geo.ways();
+        let set = &mut self.sets[self.geo.set_of(line)];
+        if let Some(e) = set.iter_mut().find(|e| e.0 == line) {
             e.1 = t;
             return true;
         }
-        if self.sets[set].len() >= self.geo.ways() {
-            let (i, _) = self.sets[set]
+        if set.len() >= ways {
+            let (i, _) = set
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.1)
                 .expect("nonempty set");
-            self.sets[set].remove(i);
+            set.remove(i);
         }
-        self.sets[set].push((line, t));
+        set.push((line, t));
         false
     }
 }

@@ -10,6 +10,7 @@
 //! invariants.
 
 use crate::addr::LineAddr;
+use crate::bits::BitIter;
 use crate::ufo::UfoBits;
 
 /// Directory state for one line.
@@ -53,10 +54,19 @@ impl Directory {
         self.lines[self.idx(line)]
     }
 
-    /// CPUs (other than `except`) currently holding the line.
-    pub fn holders_except(&self, line: LineAddr, except: usize) -> impl Iterator<Item = usize> {
-        let mask = self.state(line).sharers & !(1u64 << except);
-        (0..64).filter(move |i| mask & (1 << i) != 0)
+    /// CPUs (other than `except`) currently holding the line. Walks only
+    /// the set bits of the sharer mask, so the cost tracks the actual
+    /// holder count rather than a fixed 0..64 scan.
+    #[allow(dead_code)] // the hot paths copy the mask via holders_mask_except
+    pub fn holders_except(&self, line: LineAddr, except: usize) -> BitIter {
+        BitIter::new(self.holders_mask_except(line, except))
+    }
+
+    /// The sharer mask with `except` removed. The mask is `Copy`, so
+    /// callers that need to mutate the machine per holder can grab it
+    /// first and iterate `BitIter::new(mask)` without borrowing `self`.
+    pub fn holders_mask_except(&self, line: LineAddr, except: usize) -> u64 {
+        self.state(line).sharers & !(1u64 << except)
     }
 
     /// Whether `cpu` holds the line (in any state).

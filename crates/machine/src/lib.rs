@@ -50,6 +50,7 @@
 mod access;
 mod addr;
 mod alloc;
+mod bits;
 mod btm;
 mod cache;
 mod chaos;
@@ -66,6 +67,7 @@ pub use addr::{
     Addr, LineAddr, PageAddr, LINE_BYTES, LINE_WORDS, PAGE_BYTES, PAGE_LINES, WORD_BYTES,
 };
 pub use alloc::{AllocError, SimAlloc};
+pub use bits::BitIter;
 pub use btm::{AbortInfo, AbortReason, BtmEvent, BtmStatus};
 pub use cache::CacheGeometry;
 pub use chaos::{ChaosEvent, ChaosFaultKind, ChaosStats, FaultPlan};

@@ -69,6 +69,10 @@ pub struct Machine {
     pub(crate) l1: Vec<L1Cache>,
     pub(crate) l2: L2Cache,
     pub(crate) btm: Vec<BtmCpu>,
+    /// Bitmask of CPUs with an active (live or doomed) BTM transaction —
+    /// lets conflict arbitration walk only transacting CPUs instead of
+    /// scanning `0..cpus` on every access.
+    pub(crate) live_txns: u64,
     pub(crate) ufo_enabled: Vec<bool>,
     pub(crate) clock: Vec<u64>,
     pub(crate) next_timer: Vec<u64>,
@@ -111,7 +115,13 @@ impl Machine {
             dir: Directory::new(cfg.memory_lines()),
             l1: (0..cpus).map(|_| L1Cache::new(cfg.l1)).collect(),
             l2: L2Cache::new(cfg.l2),
-            btm: (0..cpus).map(|_| BtmCpu::default()).collect(),
+            // Pre-size each CPU's speculative buffers to L1 capacity: the
+            // bounded BTM can never track more lines than fit in the L1, so
+            // the steady state allocates nothing per transaction.
+            btm: (0..cpus)
+                .map(|_| BtmCpu::with_capacity(cfg.l1.sets() * cfg.l1.ways()))
+                .collect(),
+            live_txns: 0,
             ufo_enabled: vec![false; cpus],
             clock: vec![0; cpus],
             next_timer: vec![first_timer; cpus],
@@ -230,17 +240,24 @@ impl Machine {
         debug_assert!(self.btm[cpu].active);
         self.charge(cpu, self.cfg.costs.btm_abort);
         // Speculatively-written lines never reached memory: drop them from
-        // this CPU's cache and the directory.
-        let written: Vec<_> = self.btm[cpu].write_set.iter().copied().collect();
-        for line in written {
+        // this CPU's cache and the directory. Staged through the reusable
+        // scratch buffer because the cache/directory mutations below
+        // preclude iterating the write set in place.
+        let mut written = std::mem::take(&mut self.btm[cpu].scratch_lines);
+        written.clear();
+        written.extend(self.btm[cpu].write_set.iter().copied());
+        for &line in &written {
             if self.l1[cpu].invalidate(line).is_some() || self.dir.is_sharer(line, cpu) {
                 self.dir.remove_sharer(line, cpu);
             }
         }
+        written.clear();
+        self.btm[cpu].scratch_lines = written;
         self.l1[cpu].flash_abort_spec();
         self.stats.cpus[cpu].record_abort(info.reason);
         self.btm[cpu].last_abort = Some(info);
         self.btm[cpu].reset();
+        self.live_txns &= !(1u64 << cpu);
     }
 
     /// Marks another CPU's live transaction as killed; it will notice (and
@@ -280,6 +297,7 @@ impl Machine {
         b.depth = 1;
         b.ts = ts;
         b.doomed = None;
+        self.live_txns |= 1u64 << cpu;
         Ok(())
     }
 
@@ -302,18 +320,21 @@ impl Machine {
             self.btm[cpu].depth -= 1;
             return Ok(());
         }
-        // Outermost commit: publish the write buffer.
-        let writes: Vec<(u64, u64)> = self.btm[cpu]
-            .spec_writes
-            .iter()
-            .map(|(&a, &v)| (a, v))
-            .collect();
-        for (word, value) in writes {
+        // Outermost commit: publish the write buffer, staged through the
+        // reusable scratch buffer (writes target distinct words, so the
+        // HashMap iteration order cannot affect the published memory).
+        let mut writes = std::mem::take(&mut self.btm[cpu].scratch_writes);
+        writes.clear();
+        writes.extend(self.btm[cpu].spec_writes.iter().map(|(&a, &v)| (a, v)));
+        for &(word, value) in &writes {
             self.mem.write(Addr::from_word_index(word), value);
         }
+        writes.clear();
+        self.btm[cpu].scratch_writes = writes;
         self.l1[cpu].flash_clear_spec();
         self.stats.cpus[cpu].btm_commits += 1;
         self.btm[cpu].reset();
+        self.live_txns &= !(1u64 << cpu);
         Ok(())
     }
 
@@ -457,6 +478,13 @@ impl Machine {
     /// Panics if any invariant is violated (always a bug in this crate).
     #[doc(hidden)]
     pub fn debug_validate(&self) {
+        for (cpu, b) in self.btm.iter().enumerate() {
+            assert_eq!(
+                self.live_txns & (1u64 << cpu) != 0,
+                b.active,
+                "live-txn mask out of sync with cpu {cpu}"
+            );
+        }
         for (cpu, l1) in self.l1.iter().enumerate() {
             l1.validate();
             for e in l1.entries() {

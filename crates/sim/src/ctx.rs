@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use ufotm_machine::{AbortInfo, AccessResult, Addr, BtmEvent, BtmStatus, CpuId, UfoBits};
 
-use crate::engine::{Shared, World};
+use crate::engine::{HandoffMode, Shared, World};
 
 /// Handle through which a logical thread executes operations on its CPU.
 ///
@@ -18,11 +18,23 @@ use crate::engine::{Shared, World};
 pub struct Ctx<U> {
     cpu: CpuId,
     shared: Arc<Shared<U>>,
+    /// Cached designation. While true, this thread is the current runner,
+    /// `limit` is its batching bound, and operations need only the (always
+    /// uncontended) world mutex — the scheduler lock is skipped entirely.
+    designated: bool,
+    /// Valid only while `designated`: the runner may keep executing without
+    /// a handoff while its clock is ≤ this.
+    limit: u64,
 }
 
 impl<U> Ctx<U> {
     pub(crate) fn new(cpu: CpuId, shared: Arc<Shared<U>>) -> Self {
-        Ctx { cpu, shared }
+        Ctx {
+            cpu,
+            shared,
+            designated: false,
+            limit: 0,
+        }
     }
 
     /// The CPU this thread runs on.
@@ -31,27 +43,51 @@ impl<U> Ctx<U> {
         self.cpu
     }
 
+    /// Blocks on this thread's private condvar until the scheduler
+    /// designates it, then caches the designation.
+    #[cold]
+    fn wait_for_turn(&mut self) {
+        let mut sched = self.shared.sched.lock().expect("engine mutex poisoned");
+        while sched.current != self.cpu {
+            sched = self.shared.cvs[self.cpu]
+                .wait(sched)
+                .expect("engine mutex poisoned");
+        }
+        self.limit = sched.limit;
+        self.designated = true;
+    }
+
+    /// Hands off after the clock reached `now` (> `limit`). The scheduler
+    /// may re-designate this same thread (it is still the minimum), in
+    /// which case only the cached limit is refreshed and nobody is woken.
+    #[cold]
+    fn yield_turn(&mut self, now: u64) {
+        let mut sched = self.shared.sched.lock().expect("engine mutex poisoned");
+        let next = sched.handoff(self.cpu, now);
+        if next == self.cpu {
+            self.limit = sched.limit;
+        } else {
+            self.designated = false;
+            drop(sched);
+            self.shared.wake(next);
+        }
+    }
+
     /// Executes one scheduled operation against the world.
     ///
     /// # Panics
     ///
     /// Panics if the engine mutex was poisoned by another thread's panic.
     pub fn with<R>(&mut self, f: impl FnOnce(&mut World<U>) -> R) -> R {
-        let mut state = self.shared.state.lock().expect("engine mutex poisoned");
-        loop {
-            if state.may_run(self.cpu) {
-                break;
-            }
-            if state.stale() {
-                state.pick_next();
-                self.shared.cv.notify_all();
-                continue;
-            }
-            state = self.shared.cv.wait(state).expect("engine mutex poisoned");
+        if !self.designated {
+            self.wait_for_turn();
         }
-        let r = f(&mut state.world);
-        if let Some(cap) = state.cycle_limit {
-            let now = state.world.machine.now(self.cpu);
+        // Only the designated runner ever takes the world mutex, so this is
+        // an uncontended acquisition on the fast path.
+        let mut world = self.shared.world.lock().expect("engine mutex poisoned");
+        let r = f(&mut world);
+        let now = world.machine.now(self.cpu);
+        if let Some(cap) = self.shared.cycle_limit {
             assert!(
                 now <= cap,
                 "cycle limit exceeded: cpu {} reached {} > {} — \
@@ -61,9 +97,13 @@ impl<U> Ctx<U> {
                 cap
             );
         }
-        if !state.may_run(self.cpu) {
-            state.pick_next();
-            self.shared.cv.notify_all();
+        drop(world);
+        if now > self.limit {
+            self.yield_turn(now);
+        } else if self.shared.mode == HandoffMode::Broadcast {
+            // Legacy cost profile: the old engine re-took the scheduler
+            // lock on every operation even when it kept running.
+            drop(self.shared.sched.lock().expect("engine mutex poisoned"));
         }
         r
     }
@@ -205,6 +245,7 @@ impl<U> std::fmt::Debug for Ctx<U> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Ctx")
             .field("cpu", &self.cpu)
+            .field("designated", &self.designated)
             .finish_non_exhaustive()
     }
 }

@@ -1,5 +1,30 @@
 //! The lockstep scheduler.
+//!
+//! # Fast-path design
+//!
+//! The engine keeps two locks instead of one:
+//!
+//! * `world` — the simulated machine plus software-shared state. Only the
+//!   *designated runner* (the unfinished thread with the smallest
+//!   `(clock, id)`) ever locks it, so in the targeted mode acquisition is a
+//!   single uncontended atomic exchange — no syscalls, no contention.
+//! * `sched` — the scheduler bookkeeping (who runs next). It is touched
+//!   only at *handoff* (when the runner's clock passes its `limit`), not on
+//!   every operation: a runner that stays within its limit executes
+//!   back-to-back operations against the world without re-locking the
+//!   scheduler at all.
+//!
+//! Handoff is *targeted*: the runner pushes its new clock into a min-heap of
+//! waiting threads, pops the next `(clock, id)` minimum, and wakes exactly
+//! that thread on its private condvar. The legacy broadcast behaviour
+//! (`notify_all` of every simulated CPU per handoff) is preserved behind
+//! [`HandoffMode::Broadcast`] as a determinism oracle and performance
+//! reference — both modes execute operations in the identical order, because
+//! the schedule is a pure function of the simulated clocks (see
+//! `docs/PERF.md` for the full argument).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::{Arc, Condvar, Mutex};
 
 use ufotm_machine::Machine;
@@ -20,6 +45,21 @@ pub struct World<U> {
 /// A logical thread body. It receives a [`Ctx`] bound to its CPU.
 pub type ThreadFn<U> = Box<dyn FnOnce(&mut Ctx<U>) + Send>;
 
+/// How the engine wakes the next designated runner at a handoff.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum HandoffMode {
+    /// Wake exactly the next designated runner on its private condvar, and
+    /// let a runner inside its limit skip the scheduler lock entirely.
+    #[default]
+    Targeted,
+    /// The legacy engine's behaviour: take the scheduler lock on every
+    /// operation and wake *every* simulated CPU at each handoff. Kept as a
+    /// bit-for-bit determinism oracle and as the baseline the handoff
+    /// micro-benchmark measures against. Simulated results are identical in
+    /// both modes.
+    Broadcast,
+}
+
 /// The outcome of a simulation run.
 #[derive(Debug)]
 pub struct SimResult<U> {
@@ -34,64 +74,125 @@ pub struct SimResult<U> {
     pub finish_times: Vec<u64>,
 }
 
-pub(crate) struct EngineState<U> {
-    pub world: World<U>,
-    pub done: Vec<bool>,
-    /// The designated runner.
+/// Sentinel for "no designated runner" (all threads finished).
+const NONE: usize = usize::MAX;
+
+/// Scheduler bookkeeping. Unlike the legacy engine this never reads the
+/// machine's clocks: the clock of a thread entering the wait-set is carried
+/// into [`Sched::handoff`] by the thread itself, so the scheduler state is
+/// self-contained and every query is O(log threads).
+pub(crate) struct Sched {
+    /// The designated runner ([`NONE`] once every thread finished).
     pub current: usize,
     /// `current` may keep executing while its clock is ≤ `limit`.
     pub limit: u64,
-    pub threads: usize,
-    pub quantum: u64,
-    /// Watchdog: panic if any CPU's clock passes this (None = unlimited).
-    pub cycle_limit: Option<u64>,
+    pub done: Vec<bool>,
+    /// Min-heap of `(clock, id)` for threads that are waiting their turn.
+    /// Entries of finished threads go stale and are skipped lazily; a live
+    /// thread has exactly one entry while it is not `current`.
+    waiting: BinaryHeap<Reverse<(u64, usize)>>,
+    quantum: u64,
 }
 
-impl<U> EngineState<U> {
-    /// Re-designates the runner: the unfinished thread with the minimal
-    /// `(clock, id)`. `limit` becomes the next-smallest clock plus the
-    /// quantum, letting the runner batch a little work before handing off
-    /// (with the default quantum of 0 the interleaving is exact).
-    pub fn pick_next(&mut self) {
-        let clocks = self.world.machine.clocks();
-        let mut best: Option<(u64, usize)> = None;
-        let mut second: Option<u64> = None;
-        for (t, &clock) in clocks.iter().enumerate().take(self.threads) {
-            if self.done[t] {
-                continue;
-            }
-            let key = (clock, t);
-            match best {
-                None => best = Some(key),
-                Some(b) if key < b => {
-                    second = Some(b.0);
-                    best = Some(key);
-                }
-                Some(_) => {
-                    second = Some(second.map_or(clocks[t], |s| s.min(clocks[t])));
-                }
+impl Sched {
+    fn new(threads: usize, quantum: u64) -> Self {
+        let mut s = Sched {
+            current: NONE,
+            limit: 0,
+            done: vec![false; threads],
+            waiting: (0..threads).map(|t| Reverse((0, t))).collect(),
+            quantum,
+        };
+        // Initial designation: thread 0 (all clocks are 0; ties break by id).
+        if let Some((_, first)) = s.pop_min() {
+            s.current = first;
+            s.limit = s.next_limit();
+        }
+        s
+    }
+
+    /// Pops the minimum `(clock, id)` live entry, discarding stale ones.
+    fn pop_min(&mut self) -> Option<(u64, usize)> {
+        while let Some(Reverse((clock, t))) = self.waiting.pop() {
+            if !self.done[t] {
+                return Some((clock, t));
             }
         }
-        if let Some((_, id)) = best {
-            self.current = id;
-            self.limit = second.map_or(u64::MAX, |s| s.saturating_add(self.quantum));
+        None
+    }
+
+    /// The smallest waiting clock (discarding stale top entries), which
+    /// bounds how long the new runner may batch. A stale-but-not-yet-marked
+    /// entry can only make this *smaller* than necessary, which causes an
+    /// extra (harmless, order-preserving) handoff — never a missed one.
+    fn next_limit(&mut self) -> u64 {
+        loop {
+            match self.waiting.peek() {
+                Some(&Reverse((_, t))) if self.done[t] => {
+                    self.waiting.pop();
+                }
+                Some(&Reverse((clock, _))) => {
+                    return clock.saturating_add(self.quantum);
+                }
+                None => return u64::MAX,
+            }
         }
     }
 
-    /// Whether thread `t` may execute an operation right now.
-    pub fn may_run(&self, t: usize) -> bool {
-        self.current == t && self.world.machine.clocks()[t] <= self.limit
+    /// Re-designates after the runner `me` (whose clock is now `now`)
+    /// exceeded its limit. Returns the new designated runner, which may be
+    /// `me` again (still the minimum). O(log threads).
+    pub fn handoff(&mut self, me: usize, now: u64) -> usize {
+        debug_assert_eq!(self.current, me);
+        self.waiting.push(Reverse((now, me)));
+        let (_, next) = self.pop_min().expect("the runner itself is live");
+        self.current = next;
+        self.limit = self.next_limit();
+        next
     }
 
-    /// Whether the schedule is stale (the designated runner cannot run).
-    pub fn stale(&self) -> bool {
-        self.done[self.current] || self.world.machine.clocks()[self.current] > self.limit
+    /// Re-designates after the runner finished (it contributes no entry).
+    /// Returns the new runner, or `None` when every thread is done.
+    fn handoff_from_finished(&mut self) -> Option<usize> {
+        match self.pop_min() {
+            Some((_, next)) => {
+                self.current = next;
+                self.limit = self.next_limit();
+                Some(next)
+            }
+            None => {
+                self.current = NONE;
+                None
+            }
+        }
     }
 }
 
 pub(crate) struct Shared<U> {
-    pub state: Mutex<EngineState<U>>,
-    pub cv: Condvar,
+    pub world: Mutex<World<U>>,
+    pub sched: Mutex<Sched>,
+    /// One condvar per logical thread, all paired with the `sched` mutex.
+    /// Targeted handoff wakes exactly `cvs[next]`.
+    pub cvs: Vec<Condvar>,
+    pub mode: HandoffMode,
+    /// Watchdog: panic if any CPU's clock passes this (None = unlimited).
+    pub cycle_limit: Option<u64>,
+}
+
+impl<U> Shared<U> {
+    /// Wakes the new designated runner (or, in broadcast mode, everyone).
+    pub fn wake(&self, next: usize) {
+        match self.mode {
+            HandoffMode::Targeted => {
+                self.cvs[next].notify_one();
+            }
+            HandoffMode::Broadcast => {
+                for cv in &self.cvs {
+                    cv.notify_all();
+                }
+            }
+        }
+    }
 }
 
 /// Marks a logical thread finished on drop (panic-safe).
@@ -102,17 +203,23 @@ struct FinishGuard<'a, U> {
 
 impl<U> Drop for FinishGuard<'_, U> {
     fn drop(&mut self) {
-        // If the mutex is poisoned the whole simulation is unwinding; the
-        // bookkeeping no longer matters.
-        if let Ok(mut state) = self.shared.state.lock() {
-            if !state.done[self.cpu] {
-                state.done[self.cpu] = true;
-                if state.current == self.cpu {
-                    state.pick_next();
+        // If the sched mutex is poisoned the whole simulation is unwinding;
+        // the bookkeeping no longer matters.
+        if let Ok(mut sched) = self.shared.sched.lock() {
+            if !sched.done[self.cpu] {
+                sched.done[self.cpu] = true;
+                if sched.current == self.cpu {
+                    // The finishing thread was designated: hand off now and
+                    // wake exactly the new runner. (A finished thread that
+                    // is *not* designated leaves only a stale heap entry,
+                    // which the next handoff skips.)
+                    if let Some(next) = sched.handoff_from_finished() {
+                        drop(sched);
+                        self.shared.wake(next);
+                    }
                 }
             }
         }
-        self.shared.cv.notify_all();
     }
 }
 
@@ -122,6 +229,7 @@ pub struct Sim<U> {
     shared: U,
     quantum: u64,
     cycle_limit: Option<u64>,
+    mode: HandoffMode,
 }
 
 impl<U: Send> Sim<U> {
@@ -133,6 +241,7 @@ impl<U: Send> Sim<U> {
             shared,
             quantum: 0,
             cycle_limit: None,
+            mode: HandoffMode::Targeted,
         }
     }
 
@@ -144,6 +253,16 @@ impl<U: Send> Sim<U> {
     #[must_use]
     pub fn quantum(mut self, cycles: u64) -> Self {
         self.quantum = cycles;
+        self
+    }
+
+    /// Selects the handoff wakeup strategy (default
+    /// [`HandoffMode::Targeted`]). Simulated results are bit-identical in
+    /// either mode; [`HandoffMode::Broadcast`] exists as the determinism
+    /// oracle and performance baseline.
+    #[must_use]
+    pub fn handoff_mode(mut self, mode: HandoffMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -180,22 +299,15 @@ impl<U: Send> Sim<U> {
                 shared: self.shared,
             };
         }
-        let mut state = EngineState {
-            world: World {
+        let shared = Arc::new(Shared {
+            world: Mutex::new(World {
                 machine: self.machine,
                 shared: self.shared,
-            },
-            done: vec![false; n],
-            current: 0,
-            limit: 0,
-            threads: n,
-            quantum: self.quantum,
+            }),
+            sched: Mutex::new(Sched::new(n, self.quantum)),
+            cvs: (0..n).map(|_| Condvar::new()).collect(),
+            mode: self.mode,
             cycle_limit: self.cycle_limit,
-        };
-        state.pick_next();
-        let shared = Arc::new(Shared {
-            state: Mutex::new(state),
-            cv: Condvar::new(),
         });
 
         std::thread::scope(|scope| {
@@ -206,7 +318,8 @@ impl<U: Send> Sim<U> {
                     // The guard marks this logical thread done even if the
                     // body panics, so the other threads are not left waiting
                     // for a turn that never comes and the panic propagates
-                    // cleanly through join.
+                    // cleanly through join. (Declared first: it drops after
+                    // the Ctx.)
                     let _guard = FinishGuard { cpu, shared: &sh };
                     let mut ctx = Ctx::new(cpu, Arc::clone(&sh));
                     body(&mut ctx);
@@ -223,19 +336,19 @@ impl<U: Send> Sim<U> {
             }
         });
 
-        let state = Arc::into_inner(shared)
+        let world = Arc::into_inner(shared)
             .expect("all thread handles joined")
-            .state
+            .world
             .into_inner()
             .expect("engine mutex not poisoned");
-        let clocks = state.world.machine.clocks();
+        let clocks = world.machine.clocks();
         let finish_times: Vec<u64> = clocks[..n].to_vec();
         let makespan = finish_times.iter().copied().max().unwrap_or(0);
         SimResult {
             makespan,
             finish_times,
-            machine: state.world.machine,
-            shared: state.world.shared,
+            machine: world.machine,
+            shared: world.shared,
         }
     }
 }
@@ -311,6 +424,34 @@ mod tests {
         assert_eq!(a.shared, b.shared);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.finish_times, b.finish_times);
+    }
+
+    #[test]
+    fn broadcast_mode_matches_targeted_mode() {
+        // The legacy-semantics oracle: both wakeup strategies must produce
+        // the identical interleaving, timing, and final state.
+        let run_with = |mode: HandoffMode| {
+            Sim::new(machine(4), Vec::<(usize, u64)>::new())
+                .handoff_mode(mode)
+                .run(
+                    (0..4)
+                        .map(|i| -> ThreadFn<Vec<(usize, u64)>> {
+                            Box::new(move |ctx| {
+                                for k in 0..25 {
+                                    ctx.work(3 + ((i * 7 + k) % 11) as u64).unwrap();
+                                    let now = ctx.now();
+                                    ctx.with(move |w| w.shared.push((i, now)));
+                                }
+                            })
+                        })
+                        .collect(),
+                )
+        };
+        let t = run_with(HandoffMode::Targeted);
+        let b = run_with(HandoffMode::Broadcast);
+        assert_eq!(t.shared, b.shared);
+        assert_eq!(t.makespan, b.makespan);
+        assert_eq!(t.finish_times, b.finish_times);
     }
 
     #[test]
@@ -448,6 +589,28 @@ mod tests {
                     ctx.with(|w| w.shared.push(2));
                 }),
             ])
+        });
+        assert!(r.is_err(), "panic must propagate");
+    }
+
+    #[test]
+    fn broadcast_mode_survives_peer_panic() {
+        // The legacy mode shares the panic-recovery path: the finishing
+        // guard hands off even when the designated runner died.
+        let r = std::panic::catch_unwind(|| {
+            Sim::new(machine(2), ())
+                .handoff_mode(HandoffMode::Broadcast)
+                .run(vec![
+                    Box::new(|ctx| {
+                        for _ in 0..50 {
+                            ctx.work(10).unwrap();
+                        }
+                    }),
+                    Box::new(|ctx| {
+                        ctx.work(25).unwrap();
+                        panic!("broadcast bug");
+                    }),
+                ])
         });
         assert!(r.is_err(), "panic must propagate");
     }

@@ -8,12 +8,19 @@
 //! shared [`World`] (the [`Machine`](ufotm_machine::Machine) plus
 //! software-shared state such as an STM's ownership table).
 //!
-//! Logical threads are backed by OS threads parked on a condvar, so workload
-//! code is written as ordinary straight-line Rust — no hand-rolled state
-//! machines — while the simulation stays single-threaded in effect:
+//! Logical threads are backed by OS threads parked on private condvars, so
+//! workload code is written as ordinary straight-line Rust — no hand-rolled
+//! state machines — while the simulation stays single-threaded in effect:
 //! exactly one logical thread touches the `World` at a time, and which one
 //! is a pure function of the simulated clocks. Simulated time is therefore
 //! reproducible on any host, including a single-core one.
+//!
+//! Host-side, the engine hands off *targeted*: the scheduler tracks waiting
+//! threads in a min-clock heap and wakes exactly the next designated runner
+//! ([`HandoffMode::Targeted`]); a runner inside its batching `limit`
+//! executes operations without touching the scheduler lock at all. The
+//! legacy thundering-herd wakeup is kept as [`HandoffMode::Broadcast`] — a
+//! determinism oracle and performance baseline. See `docs/PERF.md`.
 //!
 //! ```
 //! use ufotm_machine::{Machine, MachineConfig, Addr};
@@ -39,7 +46,7 @@ mod engine;
 mod seeds;
 
 pub use ctx::Ctx;
-pub use engine::{Sim, SimResult, ThreadFn, World};
+pub use engine::{HandoffMode, Sim, SimResult, ThreadFn, World};
 pub use seeds::{for_each_seed, seed_count, SEED_COUNT_ENV, SEED_ENV};
 
 /// Re-exported so seed-sweep tests can derive per-seed randomness without

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 
 use ufotm_core::{HybridPolicy, RunReport, SystemKind, TmShared, TmThread};
 use ufotm_machine::{AbortReason, Addr, Machine, MachineConfig};
-use ufotm_sim::{Ctx, Sim, ThreadFn};
+use ufotm_sim::{Ctx, HandoffMode, Sim, ThreadFn};
 use ufotm_tl2::Tl2Stats;
 use ufotm_ustm::UstmStats;
 
@@ -47,6 +47,11 @@ pub struct RunSpec {
     /// auditor over the run; recording is host-side only and charges no
     /// simulated cycles, so results are unchanged either way.
     pub trace_cap: usize,
+    /// Run the engine in [`HandoffMode::Broadcast`] (the legacy
+    /// `notify_all` scheduler) instead of the default targeted handoff.
+    /// Both modes must simulate bit-identically; this knob exists so the
+    /// determinism regression tests can prove it.
+    pub broadcast_handoff: bool,
 }
 
 impl RunSpec {
@@ -67,6 +72,7 @@ impl RunSpec {
             seed: 0xC0FF_EE11,
             otable_bins_override: None,
             trace_cap: 0,
+            broadcast_handoff: false,
         }
     }
 
@@ -124,6 +130,11 @@ pub struct RunOutcome {
     /// already audited the journal: `report.trace.audit_violations` is 0
     /// for any correct run.
     pub report: RunReport,
+    /// The rendered trace journal (empty when the spec left tracing off).
+    /// A pure function of the recorded events, so two runs with identical
+    /// journals render identical strings — the determinism tests compare
+    /// these bytes directly.
+    pub journal: String,
 }
 
 impl RunOutcome {
@@ -186,11 +197,24 @@ pub fn run_workload(
             f
         })
         .collect();
-    let r = Sim::new(machine, world).quantum(spec.quantum).run(bodies);
+    let mode = if spec.broadcast_handoff {
+        HandoffMode::Broadcast
+    } else {
+        HandoffMode::Targeted
+    };
+    let r = Sim::new(machine, world)
+        .quantum(spec.quantum)
+        .handoff_mode(mode)
+        .run(bodies);
     verify(&r.machine, &r.shared);
 
     let agg = r.machine.stats().aggregate();
     let report = RunReport::collect(spec.seed, &r.machine, &r.shared.tm);
+    let journal = if spec.trace_cap > 0 {
+        r.shared.tm.trace.render()
+    } else {
+        String::new()
+    };
     RunOutcome {
         kind: spec.kind,
         threads: spec.threads,
@@ -211,6 +235,7 @@ pub fn run_workload(
         ufo_faults: agg.ufo_faults,
         stall_cycles: agg.stall_cycles,
         report,
+        journal,
     }
 }
 

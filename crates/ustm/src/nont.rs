@@ -74,7 +74,9 @@ fn handle_fault<U: HasUstm>(ctx: &mut Ctx<U>, addr: Addr) {
         let bin = u.otable.bin_addr_of(line);
         m.load(cpu, bin).expect("handler bin read");
         if let Some((_, e)) = u.otable.lookup(line) {
-            let owners: Vec<usize> = e.owner_cpus().collect();
+            // `owner_cpus` yields an owned bit iterator, so the otable
+            // borrow ends here and the slots below can be mutated.
+            let owners = e.owner_cpus();
             for o in owners {
                 let status = u.slots[o].status;
                 match status {

@@ -14,7 +14,7 @@
 //! operation, and the CAS/lock cost is charged in cycles by the barrier
 //! code.
 
-use ufotm_machine::{Addr, LineAddr};
+use ufotm_machine::{Addr, BitIter, LineAddr};
 
 /// Permission a transaction set holds on a line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -64,10 +64,10 @@ impl OtableEntry {
         self.owners == owner_bit(cpu)
     }
 
-    /// Iterates over owner CPU ids.
-    pub fn owner_cpus(&self) -> impl Iterator<Item = usize> + '_ {
-        let mask = self.owners;
-        (0..64usize).filter(move |i| mask & (1 << i) != 0)
+    /// Iterates over owner CPU ids (walks only the set bits of the owner
+    /// mask, so cost tracks the actual owner count).
+    pub fn owner_cpus(&self) -> BitIter {
+        BitIter::new(self.owners)
     }
 }
 
