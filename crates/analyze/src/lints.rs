@@ -1,0 +1,485 @@
+//! The five repo-specific lint passes (D1–D5).
+//!
+//! Each pass is a token-level pattern matcher over [`crate::lexer::Lexed`]
+//! streams with test code stripped. The passes encode *protocol* rules the
+//! compiler cannot check — every one of them corresponds to a bug class
+//! this repo has actually shipped (see `docs/STATIC_ANALYSIS.md` for the
+//! history):
+//!
+//! * [`NONDET_ITERATION`] — iterating a `HashMap`/`HashSet` in a
+//!   cycle-charged crate (the PR-3 replay-divergence class).
+//! * [`UNCHECKED_CPU_SHIFT`] — a raw `1 << cpu`-shaped shift outside the
+//!   checked `cpu_bit` helper (the PR-4 owner-mask overflow class).
+//! * [`HOST_NONDETERMINISM`] — host clocks, OS randomness, or
+//!   default-hasher collections inside the deterministic simulation scope.
+//! * [`STATS_MERGE_EXHAUSTIVENESS`] — a stats `fn merge` that does not
+//!   destructure every field (silently drops new counters).
+//! * [`PANICKING_MACHINE_ACCESS`] — `.unwrap()`/`.expect()` chained
+//!   directly onto a machine access in simulation code instead of the
+//!   audited `PlainAccess::plain` route (defined in `ufotm-machine`).
+
+use crate::lexer::TokenKind;
+use crate::{Finding, SourceFile, WorkspaceIndex};
+
+/// Lint name: nondeterministic iteration in a cycle-charged crate.
+pub const NONDET_ITERATION: &str = "nondet-iteration";
+/// Lint name: raw `1 << cpu` shift outside the checked helper.
+pub const UNCHECKED_CPU_SHIFT: &str = "unchecked-cpu-shift";
+/// Lint name: host clock / OS randomness / default-hasher collection.
+pub const HOST_NONDETERMINISM: &str = "host-nondeterminism";
+/// Lint name: `fn merge` without an exhaustive field destructure.
+pub const STATS_MERGE_EXHAUSTIVENESS: &str = "stats-merge-exhaustiveness";
+/// Lint name: panicking call chained onto a machine access.
+pub const PANICKING_MACHINE_ACCESS: &str = "panicking-machine-access";
+/// Pseudo-lint: a suppression marker missing its `-- <reason>`.
+pub const BAD_SUPPRESSION: &str = "bad-suppression";
+/// Pseudo-lint: a suppression marker that matched no finding.
+pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
+
+/// Every real lint (suppressible via `analyze: allow(...)`).
+pub const LINTS: &[&str] = &[
+    NONDET_ITERATION,
+    UNCHECKED_CPU_SHIFT,
+    HOST_NONDETERMINISM,
+    STATS_MERGE_EXHAUSTIVENESS,
+    PANICKING_MACHINE_ACCESS,
+];
+
+/// Crates whose code runs under the cycle-charged simulation clock: any
+/// observable iteration order here is replayed bit-for-bit, so hasher
+/// randomness is a determinism bug (D1 scope).
+pub const CYCLE_CHARGED: &[&str] = &["machine", "ustm", "tl2", "core"];
+
+/// Crates that must be free of *host* nondeterminism: everything that runs
+/// inside (or drives) the deterministic simulation. Host tooling — `bench`
+/// (wall-clock measurement is its job), `analyze`, and `xtask` — is
+/// excluded (D3/D5 scope).
+pub const DETERMINISTIC: &[&str] = &["machine", "ustm", "tl2", "core", "sim", "stamp", "root"];
+
+/// Machine access methods whose results must not be unwrapped inline on
+/// plain-access paths (D5). The audited escape hatch is
+/// `PlainAccess::plain`, which names the operation in its panic message.
+const MACHINE_METHODS: &[&str] = &[
+    "with",
+    "load",
+    "store",
+    "work",
+    "stall",
+    "btm_begin",
+    "btm_end",
+    "btm_event",
+    "read_ufo_bits",
+    "set_ufo_bits",
+    "add_ufo_bits",
+];
+
+/// HashMap/HashSet iteration methods whose visit order is hasher-dependent.
+const NONDET_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+];
+
+/// Hash-randomized std::collections types (D3): their iteration order — and
+/// with `RandomState`/`DefaultHasher`, their very hashes — change per
+/// process, which is host state leaking into the simulation.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "RandomState", "DefaultHasher"];
+
+/// Host clock / OS entropy identifiers (D3).
+const HOST_IDENTS: &[&str] = &["Instant", "SystemTime", "thread_rng", "OsRng", "getrandom"];
+
+/// Shift bases that make `base << ident` a CPU-mask-shaped shift (D2).
+const SHIFT_BASES: &[&str] = &["1", "1u8", "1u16", "1u32", "1u64", "1u128", "1usize"];
+
+/// Functions whose bodies are allowed to contain the raw shift (D2): the
+/// checked helper itself.
+const SHIFT_HELPERS: &[&str] = &["cpu_bit"];
+
+/// Runs every pass that applies to `file`, appending findings to `out`.
+pub fn run_passes(file: &SourceFile, index: &WorkspaceIndex, out: &mut Vec<Finding>) {
+    let in_cycle_charged = CYCLE_CHARGED.contains(&file.crate_name.as_str());
+    let in_deterministic = DETERMINISTIC.contains(&file.crate_name.as_str());
+    if in_cycle_charged {
+        nondet_iteration(file, index, out);
+    }
+    unchecked_cpu_shift(file, out);
+    if in_deterministic {
+        host_nondeterminism(file, out);
+        panicking_machine_access(file, out);
+    }
+    stats_merge_exhaustiveness(file, out);
+}
+
+fn push(out: &mut Vec<Finding>, lint: &'static str, file: &SourceFile, line: u32, message: String) {
+    // One finding per (lint, line) per file: the passes overlap on purpose
+    // (e.g. a `for` loop over `map.iter()` matches both D1 patterns).
+    if out
+        .iter()
+        .any(|f| f.lint == lint && f.path == file.path && f.line == line)
+    {
+        return;
+    }
+    out.push(Finding {
+        lint,
+        path: file.path.clone(),
+        line,
+        message,
+        snippet: file.snippet(line),
+    });
+}
+
+/// D1: flags iteration over identifiers the [`WorkspaceIndex`] recorded as
+/// `HashMap`/`HashSet` bindings in this crate — both explicit adaptor calls
+/// (`m.iter()`, `m.drain()`, …) and `for … in` headers that mention an
+/// indexed name (`for (k, v) in &m`).
+fn nondet_iteration(file: &SourceFile, index: &WorkspaceIndex, out: &mut Vec<Finding>) {
+    let Some(names) = index.hash_names.get(&file.crate_name) else {
+        return;
+    };
+    let t = &file.tokens;
+    for i in 0..t.len() {
+        // name . iter (   — adaptor call on an indexed binding.
+        if t[i].kind == TokenKind::Ident && names.contains(&t[i].text) {
+            if let (Some(dot), Some(m), Some(paren)) = (t.get(i + 1), t.get(i + 2), t.get(i + 3)) {
+                if dot.is_punct(".")
+                    && m.kind == TokenKind::Ident
+                    && NONDET_ITER_METHODS.contains(&m.text.as_str())
+                    && paren.is_punct("(")
+                {
+                    push(
+                        out,
+                        NONDET_ITERATION,
+                        file,
+                        m.line,
+                        format!(
+                            "`{}.{}()` visits entries in hasher order; iteration order is \
+                             observable in a cycle-charged crate (use a BTree collection, \
+                             sort first, or justify with an allow marker)",
+                            t[i].text, m.text
+                        ),
+                    );
+                }
+            }
+        }
+        // for <pat> in <expr> {   — expr mentions an indexed binding.
+        if t[i].is_ident("for") {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut in_expr = false;
+            while j < t.len() {
+                let tok = &t[j];
+                if tok.is_punct("(") || tok.is_punct("[") {
+                    depth += 1;
+                } else if tok.is_punct(")") || tok.is_punct("]") {
+                    depth -= 1;
+                } else if depth == 0 && tok.is_punct("{") {
+                    break;
+                } else if depth == 0 && tok.is_ident("in") {
+                    in_expr = true;
+                    j += 1;
+                    continue;
+                }
+                if in_expr && tok.kind == TokenKind::Ident && names.contains(&tok.text) {
+                    // Skip when the very name is immediately adaptor-called:
+                    // the arm above already reported it (dedup covers the
+                    // same-line case; this keeps messages specific).
+                    push(
+                        out,
+                        NONDET_ITERATION,
+                        file,
+                        tok.line,
+                        format!(
+                            "`for` loop over `{}` visits entries in hasher order; iteration \
+                             order is observable in a cycle-charged crate",
+                            tok.text
+                        ),
+                    );
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+/// D2: flags `1 << <non-literal>` everywhere outside the body of a checked
+/// helper ([`SHIFT_HELPERS`]). Constant shifts (`1 << 16`) are fine — they
+/// cannot overflow by CPU id.
+fn unchecked_cpu_shift(file: &SourceFile, out: &mut Vec<Finding>) {
+    let t = &file.tokens;
+    // Track enclosing fn names so the helper's own body is exempt.
+    let mut fn_stack: Vec<(String, i32)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    let mut depth = 0i32;
+    for i in 0..t.len() {
+        let tok = &t[i];
+        if tok.is_ident("fn") {
+            if let Some(name) = t.get(i + 1) {
+                if name.kind == TokenKind::Ident {
+                    pending_fn = Some(name.text.clone());
+                }
+            }
+        } else if tok.is_punct(";") && depth == 0 {
+            pending_fn = None; // trait method without a body
+        } else if tok.is_punct("{") {
+            depth += 1;
+            if let Some(name) = pending_fn.take() {
+                fn_stack.push((name, depth));
+            }
+        } else if tok.is_punct("}") {
+            if fn_stack.last().is_some_and(|(_, d)| *d == depth) {
+                fn_stack.pop();
+            }
+            depth -= 1;
+        } else if tok.is_punct("<<")
+            && i > 0
+            && t[i - 1].kind == TokenKind::Number
+            && SHIFT_BASES.contains(&t[i - 1].text.as_str())
+            && t.get(i + 1).is_some_and(|n| n.kind != TokenKind::Number)
+        {
+            let exempt = fn_stack
+                .iter()
+                .any(|(name, _)| SHIFT_HELPERS.contains(&name.as_str()));
+            if !exempt {
+                push(
+                    out,
+                    UNCHECKED_CPU_SHIFT,
+                    file,
+                    tok.line,
+                    format!(
+                        "raw `{} << <expr>` shift: at shift amounts >= 64 this silently \
+                         wraps in release builds (the PR-4 owner-mask bug); route through \
+                         `ufotm_machine::cpu_bit`",
+                        t[i - 1].text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// D3: flags std hash-collection imports/paths and host clock / OS entropy
+/// identifiers in the deterministic scope. Import lines produce exactly one
+/// finding (at the `use` token) so a single allow marker can cover them.
+fn host_nondeterminism(file: &SourceFile, out: &mut Vec<Finding>) {
+    let t = &file.tokens;
+    let mut i = 0usize;
+    while i < t.len() {
+        // use std :: collections :: …ident list… ;
+        if t[i].is_ident("use")
+            && t.get(i + 1).is_some_and(|x| x.is_ident("std"))
+            && t.get(i + 2).is_some_and(|x| x.is_punct(":"))
+            && t.get(i + 3).is_some_and(|x| x.is_punct(":"))
+            && t.get(i + 4).is_some_and(|x| x.is_ident("collections"))
+        {
+            let use_line = t[i].line;
+            let mut j = i + 5;
+            let mut bad: Vec<&str> = Vec::new();
+            while j < t.len() && !t[j].is_punct(";") {
+                if t[j].kind == TokenKind::Ident {
+                    if let Some(h) = HASH_TYPES.iter().find(|h| t[j].text == **h) {
+                        if !bad.contains(h) {
+                            bad.push(h);
+                        }
+                    }
+                }
+                j += 1;
+            }
+            if !bad.is_empty() {
+                push(
+                    out,
+                    HOST_NONDETERMINISM,
+                    file,
+                    use_line,
+                    format!(
+                        "import of hash-randomized collection(s) {} in the deterministic \
+                         scope; per-process hasher seeds are host state (use BTree \
+                         collections or justify with an allow marker)",
+                        bad.join(", ")
+                    ),
+                );
+            }
+            i = j;
+            continue;
+        }
+        // Inline std :: collections :: HashX paths (no import).
+        if t[i].is_ident("std")
+            && t.get(i + 1).is_some_and(|x| x.is_punct(":"))
+            && t.get(i + 2).is_some_and(|x| x.is_punct(":"))
+            && t.get(i + 3).is_some_and(|x| x.is_ident("collections"))
+        {
+            if let Some(h) = t.get(i + 6) {
+                if h.kind == TokenKind::Ident && HASH_TYPES.contains(&h.text.as_str()) {
+                    push(
+                        out,
+                        HOST_NONDETERMINISM,
+                        file,
+                        h.line,
+                        format!("`std::collections::{}` in the deterministic scope", h.text),
+                    );
+                }
+            }
+        }
+        // Host clocks and OS entropy, by identifier. The simulated clock is
+        // `Ctx::now()`; the simulated RNG is `SimRng`.
+        if t[i].kind == TokenKind::Ident && HOST_IDENTS.contains(&t[i].text.as_str()) {
+            push(
+                out,
+                HOST_NONDETERMINISM,
+                file,
+                t[i].line,
+                format!(
+                    "`{}` reads host state; simulation code must use the simulated \
+                     clock (`Ctx`) or `SimRng`",
+                    t[i].text
+                ),
+            );
+        }
+        i += 1;
+    }
+}
+
+/// D4: every `fn merge` must exhaustively destructure `other` — a
+/// `let Stats {{ a, b, c }} = other;` with no `..` rest pattern — so adding
+/// a field without aggregating it becomes a compile error, not a silently
+/// wrong report.
+fn stats_merge_exhaustiveness(file: &SourceFile, out: &mut Vec<Finding>) {
+    let t = &file.tokens;
+    let mut i = 0usize;
+    while i < t.len() {
+        if !(t[i].is_ident("fn") && t.get(i + 1).is_some_and(|x| x.is_ident("merge"))) {
+            i += 1;
+            continue;
+        }
+        let merge_line = t[i + 1].line;
+        // Find the body's opening brace (first `{` outside parens/brackets).
+        let mut j = i + 2;
+        let mut pdepth = 0i32;
+        while j < t.len() {
+            if t[j].is_punct("(") || t[j].is_punct("[") {
+                pdepth += 1;
+            } else if t[j].is_punct(")") || t[j].is_punct("]") {
+                pdepth -= 1;
+            } else if pdepth == 0 && t[j].is_punct("{") {
+                break;
+            } else if pdepth == 0 && t[j].is_punct(";") {
+                // Trait signature without a body — nothing to check.
+                break;
+            }
+            j += 1;
+        }
+        if j >= t.len() || !t[j].is_punct("{") {
+            i = j;
+            continue;
+        }
+        // Scan the body for `let Ident { … no `..` … } = …other…;`.
+        let body_start = j + 1;
+        let mut depth = 1i32;
+        let mut k = body_start;
+        let mut ok = false;
+        while k < t.len() && depth > 0 {
+            if t[k].is_punct("{") {
+                depth += 1;
+            } else if t[k].is_punct("}") {
+                depth -= 1;
+            } else if t[k].is_ident("let")
+                && t.get(k + 1).is_some_and(|x| x.kind == TokenKind::Ident)
+                && t.get(k + 2).is_some_and(|x| x.is_punct("{"))
+            {
+                // Walk the pattern braces, watching for a `..` rest pattern.
+                let mut b = 1i32;
+                let mut p = k + 3;
+                let mut has_rest = false;
+                while p < t.len() && b > 0 {
+                    if t[p].is_punct("{") {
+                        b += 1;
+                    } else if t[p].is_punct("}") {
+                        b -= 1;
+                    } else if t[p].is_punct(".") && t.get(p + 1).is_some_and(|x| x.is_punct(".")) {
+                        has_rest = true;
+                    }
+                    p += 1;
+                }
+                // `= … other … ;` must follow.
+                let mut binds_other = false;
+                if t.get(p).is_some_and(|x| x.is_punct("=")) {
+                    let mut q = p + 1;
+                    while q < t.len() && !t[q].is_punct(";") {
+                        if t[q].is_ident("other") {
+                            binds_other = true;
+                        }
+                        q += 1;
+                    }
+                }
+                if !has_rest && binds_other {
+                    ok = true;
+                }
+            }
+            k += 1;
+        }
+        if !ok {
+            push(
+                out,
+                STATS_MERGE_EXHAUSTIVENESS,
+                file,
+                merge_line,
+                "`fn merge` does not exhaustively destructure `other` \
+                 (`let Stats { every, field } = other;` with no `..`): a newly added \
+                 counter would be silently dropped from merged reports"
+                    .to_string(),
+            );
+        }
+        i = k.max(i + 2);
+    }
+}
+
+/// D5: flags `.unwrap()` / `.expect(…)` chained directly onto a machine
+/// access call. Access results on plain-access paths must go through
+/// `PlainAccess::plain("what")`, which names the operation and is the one
+/// audited place that may panic on a machine error.
+fn panicking_machine_access(file: &SourceFile, out: &mut Vec<Finding>) {
+    let t = &file.tokens;
+    for i in 0..t.len() {
+        if !(t[i].is_punct(".")
+            && t.get(i + 1).is_some_and(|m| {
+                m.kind == TokenKind::Ident && MACHINE_METHODS.contains(&m.text.as_str())
+            })
+            && t.get(i + 2).is_some_and(|x| x.is_punct("(")))
+        {
+            continue;
+        }
+        // Balance the call's parens, then require `.unwrap(` / `.expect(`.
+        let mut depth = 1i32;
+        let mut j = i + 3;
+        while j < t.len() && depth > 0 {
+            if t[j].is_punct("(") {
+                depth += 1;
+            } else if t[j].is_punct(")") {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        let (Some(dot), Some(panicky)) = (t.get(j), t.get(j + 1)) else {
+            continue;
+        };
+        if dot.is_punct(".") && (panicky.is_ident("unwrap") || panicky.is_ident("expect")) {
+            push(
+                out,
+                PANICKING_MACHINE_ACCESS,
+                file,
+                panicky.line,
+                format!(
+                    "`.{}()` chained onto `.{}(…)`: a chaos-injected machine fault here \
+                     crashes the run with a context-free panic; use \
+                     `PlainAccess::plain(\"what\")` (or handle the error)",
+                    panicky.text,
+                    t[i + 1].text
+                ),
+            );
+        }
+    }
+}

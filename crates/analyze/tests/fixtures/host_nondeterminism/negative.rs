@@ -1,0 +1,19 @@
+//@ path: crates/sim/src/fixture.rs
+//! D3 negative: the simulated clock and RNG are fine, BTree collections
+//! are fine, and host tooling crates (bench/xtask/analyze) are out of
+//! scope entirely.
+use std::collections::BTreeMap;
+
+pub struct Sampler {
+    points: BTreeMap<u64, u64>,
+    rng: u64,
+}
+
+impl Sampler {
+    pub fn next(&mut self, now_cycles: u64) -> u64 {
+        // splitmix64 step: deterministic, seeded from the config.
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        self.points.insert(now_cycles, self.rng);
+        self.rng
+    }
+}

@@ -1,0 +1,18 @@
+//@ path: crates/sim/src/fixture.rs
+//! D3 positive: host clocks, OS entropy, and hash-randomized collections
+//! inside the deterministic simulation scope.
+use std::collections::HashMap; //~ host-nondeterminism
+use std::time::Instant; //~ host-nondeterminism
+
+pub fn time_slice() -> u64 {
+    let t = Instant::now(); //~ host-nondeterminism
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn scratch() -> std::collections::HashSet<u64> { //~ host-nondeterminism
+    std::collections::HashSet::new() //~ host-nondeterminism
+}
+
+pub fn cache() -> HashMap<u64, u64> {
+    HashMap::new()
+}

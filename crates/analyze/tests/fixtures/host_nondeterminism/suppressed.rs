@@ -1,0 +1,9 @@
+//@ path: crates/sim/src/fixture.rs
+//! D3 suppressed: a justified hash-collection import.
+// analyze: allow(host-nondeterminism) -- membership-only scratch set on a cold path; never iterated, so hasher order is unobservable.
+use std::collections::HashSet;
+
+pub fn dedup_count(xs: &[u64]) -> usize {
+    let mut seen = HashSet::new();
+    xs.iter().filter(|x| seen.insert(**x)).count()
+}

@@ -1,0 +1,22 @@
+//@ path: crates/machine/src/fixture.rs
+//! Meta-fixture: the PR-4 regression, replayed.
+//!
+//! PR 4's owner-mask maintenance used `owners |= 1 << cpu` in the
+//! ownership table. At 64 simulated CPUs the shift amount wrapped
+//! (release builds mask the shift count), so CPU 64 aliased CPU 0's
+//! ownership bit and conflict resolution silently dropped a UFO restore.
+//! D2 must catch the raw shift wherever it reappears.
+
+pub struct OwnerEntry {
+    owners: u64,
+}
+
+impl OwnerEntry {
+    pub fn add_owner(&mut self, cpu: usize) {
+        self.owners |= 1 << cpu; //~ unchecked-cpu-shift
+    }
+
+    pub fn drop_owner(&mut self, cpu: usize) {
+        self.owners &= !(1u64 << cpu); //~ unchecked-cpu-shift
+    }
+}

@@ -1,0 +1,29 @@
+//@ path: crates/ustm/src/fixture.rs
+//! D1 negative: BTree collections iterate in key order (deterministic),
+//! and membership tests on hash collections are order-free.
+use std::collections::BTreeMap;
+
+pub struct OwnerTable {
+    entries: BTreeMap<u64, u64>,
+}
+
+impl OwnerTable {
+    pub fn release_all(&mut self) {
+        for (&addr, &owner) in self.entries.iter() {
+            release(addr, owner);
+        }
+    }
+}
+
+fn release(_a: u64, _o: u64) {}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_hash_iterate() {
+        let m: HashMap<u64, u64> = HashMap::new();
+        for _ in m.iter() {}
+    }
+}

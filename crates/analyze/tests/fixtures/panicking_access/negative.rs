@@ -1,0 +1,42 @@
+//@ path: crates/core/src/fixture.rs
+//! D5 negative: the audited routes — `PlainAccess::plain` names the
+//! operation, `?`/match handle the error, and unwraps on non-machine
+//! results are out of scope.
+
+pub fn read_flag(m: &mut Machine, cpu: usize, addr: u64) -> u64 {
+    m.load(cpu, addr).plain("read flag word")
+}
+
+pub fn try_publish(m: &mut Machine, cpu: usize, addr: u64, v: u64) -> Result<(), ()> {
+    m.store(cpu, addr, v)?;
+    match m.btm_end(cpu) {
+        Ok(()) => Ok(()),
+        Err(()) => Err(()),
+    }
+}
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().unwrap()
+}
+
+pub struct Machine;
+impl Machine {
+    pub fn load(&mut self, _c: usize, _a: u64) -> Result<u64, ()> {
+        Ok(0)
+    }
+    pub fn store(&mut self, _c: usize, _a: u64, _v: u64) -> Result<(), ()> {
+        Ok(())
+    }
+    pub fn btm_end(&mut self, _c: usize) -> Result<(), ()> {
+        Ok(())
+    }
+}
+
+pub trait Plain {
+    fn plain(self, what: &str) -> u64;
+}
+impl Plain for Result<u64, ()> {
+    fn plain(self, _what: &str) -> u64 {
+        self.unwrap_or(0)
+    }
+}

@@ -1,0 +1,25 @@
+//@ path: crates/core/src/fixture.rs
+//! D5 positive: panicking calls chained onto machine accesses — a
+//! chaos-injected fault here kills the run with a context-free panic.
+
+pub fn read_flag(m: &mut Machine, cpu: usize, addr: u64) -> u64 {
+    m.load(cpu, addr).unwrap() //~ panicking-machine-access
+}
+
+pub fn publish(m: &mut Machine, cpu: usize, addr: u64, v: u64) {
+    m.store(cpu, addr, v).expect("store"); //~ panicking-machine-access
+    m.btm_end(cpu).unwrap(); //~ panicking-machine-access
+}
+
+pub struct Machine;
+impl Machine {
+    pub fn load(&mut self, _c: usize, _a: u64) -> Result<u64, ()> {
+        Ok(0)
+    }
+    pub fn store(&mut self, _c: usize, _a: u64, _v: u64) -> Result<(), ()> {
+        Ok(())
+    }
+    pub fn btm_end(&mut self, _c: usize) -> Result<(), ()> {
+        Ok(())
+    }
+}

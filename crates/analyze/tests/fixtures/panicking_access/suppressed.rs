@@ -1,0 +1,14 @@
+//@ path: crates/core/src/fixture.rs
+//! D5 suppressed: an unwrap justified by construction.
+
+pub fn boot_word(m: &mut Machine, addr: u64) -> u64 {
+    // analyze: allow(panicking-machine-access) -- boot-time read before chaos injection is armed; a fault here is unreachable by construction.
+    m.load(0, addr).unwrap()
+}
+
+pub struct Machine;
+impl Machine {
+    pub fn load(&mut self, _c: usize, _a: u64) -> Result<u64, ()> {
+        Ok(0)
+    }
+}

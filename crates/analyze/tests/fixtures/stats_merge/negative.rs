@@ -1,0 +1,27 @@
+//@ path: crates/core/src/fixture.rs
+//! D4 negative: the destructuring merge — adding a field without
+//! aggregating it becomes a compile error.
+
+pub struct RunStats {
+    pub commits: u64,
+    pub aborts: u64,
+    pub stalls: u64,
+}
+
+impl RunStats {
+    pub fn merge(&mut self, other: &RunStats) {
+        let RunStats {
+            commits,
+            aborts,
+            stalls,
+        } = *other;
+        self.commits += commits;
+        self.aborts += aborts;
+        self.stalls += stalls;
+    }
+}
+
+// Unrelated functions whose names merely start with "merge" are not merges.
+pub fn merge_and_aggregate(a: u64, b: u64) -> u64 {
+    a + b
+}

@@ -1,0 +1,29 @@
+//@ path: crates/core/src/fixture.rs
+//! D4 positive: merges that can silently drop a newly added counter.
+
+pub struct RunStats {
+    pub commits: u64,
+    pub aborts: u64,
+    pub stalls: u64,
+}
+
+impl RunStats {
+    pub fn merge(&mut self, other: &RunStats) { //~ stats-merge-exhaustiveness
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        // `stalls` forgotten — exactly the bug D4 exists to catch.
+    }
+}
+
+pub struct PhaseStats {
+    pub cycles: u64,
+    pub retries: u64,
+}
+
+impl PhaseStats {
+    pub fn merge(&mut self, other: &PhaseStats) { //~ stats-merge-exhaustiveness
+        // A rest pattern defeats the exhaustiveness guarantee.
+        let PhaseStats { cycles, .. } = *other;
+        self.cycles += cycles;
+    }
+}

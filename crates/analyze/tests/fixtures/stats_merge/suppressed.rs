@@ -1,0 +1,15 @@
+//@ path: crates/core/src/fixture.rs
+//! D4 suppressed: a `merge` that is not a field-wise stats fold.
+
+pub struct Interval {
+    pub lo: u64,
+    pub hi: u64,
+}
+
+impl Interval {
+    // analyze: allow(stats-merge-exhaustiveness) -- not a stats fold: hull of two intervals, both fields are read via min/max below.
+    pub fn merge(&mut self, other: &Interval) {
+        self.lo = self.lo.min(other.lo);
+        self.hi = self.hi.max(other.hi);
+    }
+}

@@ -1,0 +1,12 @@
+//@ path: crates/machine/src/fixture.rs
+//! Suppression hygiene: a marker without `-- <reason>` suppresses nothing
+//! and is itself a finding; so is a marker naming an unknown lint.
+
+pub fn owner_mask(cpu: usize) -> u64 {
+    1u64 << cpu // analyze: allow(unchecked-cpu-shift) //~ bad-suppression //~ unchecked-cpu-shift
+}
+
+pub fn other_mask(cpu: usize) -> u64 {
+    // analyze: allow(no-such-lint) -- typo in the lint name //~ bad-suppression
+    1u64 << cpu //~ unchecked-cpu-shift
+}

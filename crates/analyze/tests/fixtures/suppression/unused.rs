@@ -1,0 +1,8 @@
+//@ path: crates/machine/src/fixture.rs
+//! Suppression hygiene: a justified marker that matches no finding rots —
+//! the engine flags it so stale allows get deleted.
+
+pub fn constant_mask() -> u64 {
+    // analyze: allow(unchecked-cpu-shift) -- constant shifts never fire this lint in the first place //~ unused-suppression
+    1u64 << 16
+}

@@ -1,0 +1,19 @@
+//@ path: crates/machine/src/fixture.rs
+//! D2 negative: constant shifts cannot overflow by CPU id; the checked
+//! helper's own body is the one place the raw shift may live; shifts of a
+//! non-one base (already a mask) are not CPU-bit constructions.
+
+pub const MEM_WORDS: u64 = 1 << 22;
+
+pub fn cpu_bit(cpu: usize) -> u64 {
+    debug_assert!(cpu < 64);
+    1u64 << (cpu & 63)
+}
+
+pub fn scaled(mask: u64, by: u32) -> u64 {
+    mask << by
+}
+
+pub fn half_lines() -> u64 {
+    1u64 << 16
+}

@@ -1,0 +1,14 @@
+//@ path: crates/machine/src/fixture.rs
+//! D2 positive: raw CPU-indexed shifts that wrap at cpu >= 64.
+
+pub fn owner_mask(cpu: usize) -> u64 {
+    1u64 << cpu //~ unchecked-cpu-shift
+}
+
+pub fn add_waiter(mask: &mut u64, cpu: usize) {
+    *mask |= 1 << cpu; //~ unchecked-cpu-shift
+}
+
+pub fn page_bit(slot: usize) -> usize {
+    1usize << (slot % 64) //~ unchecked-cpu-shift
+}

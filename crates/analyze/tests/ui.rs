@@ -1,0 +1,175 @@
+//! The ui-fixture harness (trybuild-style, but for lints): every file
+//! under `tests/fixtures/` is analyzed as if it lived at the virtual path
+//! named by its `//@ path:` first line, and the complete set of findings
+//! must equal the `//~ <lint>` expectations annotated on the flagged
+//! lines. Positive fixtures prove each lint fires; negative fixtures prove
+//! it stays quiet on the idiomatic pattern; suppressed fixtures prove the
+//! allow-marker machinery; the meta fixtures replay this repo's actual
+//! shipped bugs (PR 3, PR 4) and prove the gate would have caught them.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ufotm_analyze::{analyze_file, analyze_workspace, render_text, Report};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Reads the `//@ path: <virtual path>` directive off the first line.
+fn virtual_path(src: &str, file: &Path) -> String {
+    let first = src.lines().next().unwrap_or_default();
+    first
+        .strip_prefix("//@ path:")
+        .unwrap_or_else(|| panic!("{}: first line must be `//@ path: …`", file.display()))
+        .trim()
+        .to_string()
+}
+
+/// Collects `//~ <lint>` expectations: each occurrence on a line expects
+/// that lint to fire on that line. Multiple `//~` markers per line allowed.
+fn expectations(src: &str) -> BTreeSet<(u32, String)> {
+    let mut out = BTreeSet::new();
+    for (idx, line) in src.lines().enumerate() {
+        let mut rest = line;
+        while let Some(pos) = rest.find("//~") {
+            rest = &rest[pos + 3..];
+            let lint = rest
+                .split_whitespace()
+                .next()
+                .expect("`//~` must be followed by a lint name");
+            out.insert((idx as u32 + 1, lint.to_string()));
+        }
+    }
+    out
+}
+
+type LineLints = BTreeSet<(u32, String)>;
+
+fn run_fixture(file: &Path) -> (Report, LineLints, LineLints) {
+    let src = fs::read_to_string(file).unwrap();
+    let report = analyze_file(&virtual_path(&src, file), &src);
+    let actual: BTreeSet<(u32, String)> = report
+        .findings
+        .iter()
+        .map(|f| (f.line, f.lint.to_string()))
+        .collect();
+    let expected = expectations(&src);
+    (report, actual, expected)
+}
+
+fn check_fixture(file: &Path) {
+    let (report, actual, expected) = run_fixture(file);
+    assert_eq!(
+        actual,
+        expected,
+        "\n== {} ==\nmissing: {:?}\nunexpected: {:?}\nfull report:\n{}",
+        file.display(),
+        expected.difference(&actual).collect::<Vec<_>>(),
+        actual.difference(&expected).collect::<Vec<_>>(),
+        render_text(&report),
+    );
+    let stem = file.file_stem().unwrap().to_string_lossy();
+    if stem == "suppressed" {
+        assert!(
+            report.suppressed > 0,
+            "{}: a suppressed fixture must actually exercise a marker",
+            file.display()
+        );
+    }
+    if stem == "negative" {
+        assert_eq!(
+            report.suppressed,
+            0,
+            "{}: a negative fixture must be quiet without any markers",
+            file.display()
+        );
+    }
+}
+
+/// Every fixture on disk, so a new fixture can never be silently skipped.
+fn all_fixtures() -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![fixtures_dir()];
+    while let Some(d) = stack.pop() {
+        for e in fs::read_dir(&d).unwrap() {
+            let p = e.unwrap().path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn every_fixture_matches_its_expectations() {
+    let fixtures = all_fixtures();
+    // 5 lints × {positive, negative, suppressed} + 2 suppression-hygiene
+    // + 2 meta regressions.
+    assert_eq!(
+        fixtures.len(),
+        19,
+        "fixture inventory drifted: {fixtures:?}"
+    );
+    for f in &fixtures {
+        check_fixture(f);
+    }
+}
+
+/// The PR-3 regression (hasher-ordered TL2 write-back) is caught by D1 at
+/// the iteration and D3 at the import.
+#[test]
+fn meta_pr3_hashmap_writeback_is_caught() {
+    let file = fixtures_dir().join("meta/pr3_tl2_writeback.rs");
+    let (report, _, _) = run_fixture(&file);
+    let lints: BTreeSet<&str> = report.findings.iter().map(|f| f.lint).collect();
+    assert!(
+        lints.contains("nondet-iteration"),
+        "D1 must flag the write-back loop: {lints:?}"
+    );
+    assert!(
+        lints.contains("host-nondeterminism"),
+        "D3 must flag the HashMap import: {lints:?}"
+    );
+}
+
+/// The PR-4 regression (owner-mask `1 << cpu` wrap at cpu >= 64) is caught
+/// by D2 at every raw shift.
+#[test]
+fn meta_pr4_shift_overflow_is_caught() {
+    let file = fixtures_dir().join("meta/pr4_shift_overflow.rs");
+    let (report, _, _) = run_fixture(&file);
+    let shifts = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == "unchecked-cpu-shift")
+        .count();
+    assert_eq!(shifts, 2, "both raw shifts must be flagged");
+}
+
+/// The gate itself: the live workspace must lint clean. Running this from
+/// the tier-1 suite means `cargo test` fails the moment a violation lands,
+/// even before CI's dedicated `cargo xtask analyze` step.
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap();
+    let report = analyze_workspace(root).unwrap();
+    assert!(
+        report.is_clean(),
+        "workspace has unsuppressed findings:\n{}",
+        render_text(&report)
+    );
+    assert_eq!(
+        report.stale_baseline, 0,
+        "analyze-baseline.txt has stale entries"
+    );
+    assert!(report.files >= 50, "discovery walked too few files");
+}

@@ -1,6 +1,6 @@
 //! The global-lock baseline: one test-and-set lock in simulated memory.
 
-use ufotm_machine::Addr;
+use ufotm_machine::{Addr, PlainAccess};
 use ufotm_sim::Ctx;
 
 use crate::shared::HasTm;
@@ -39,11 +39,11 @@ pub(crate) fn lock_acquire<U: HasTm>(ctx: &mut Ctx<U>, spin_backoff: u64) {
         let got = ctx.with(|w| {
             let m = &mut w.machine;
             let l = &mut w.shared.tm().lock;
-            m.load(cpu, l.addr).expect("lock read");
+            m.load(cpu, l.addr).plain("lock read");
             if l.holder.is_none() {
                 l.holder = Some(cpu);
                 l.acquisitions += 1;
-                m.store(cpu, l.addr, cpu as u64 + 1).expect("lock take");
+                m.store(cpu, l.addr, cpu as u64 + 1).plain("lock take");
                 true
             } else {
                 false
@@ -52,7 +52,7 @@ pub(crate) fn lock_acquire<U: HasTm>(ctx: &mut Ctx<U>, spin_backoff: u64) {
         if got {
             return;
         }
-        ctx.stall(spin_backoff).expect("lock spin");
+        ctx.stall(spin_backoff).plain("lock spin");
     }
 }
 
@@ -68,6 +68,6 @@ pub(crate) fn lock_release<U: HasTm>(ctx: &mut Ctx<U>) {
         let l = &mut w.shared.tm().lock;
         assert_eq!(l.holder, Some(cpu), "releasing a lock we do not hold");
         l.holder = None;
-        m.store(cpu, l.addr, 0).expect("lock release");
+        m.store(cpu, l.addr, 0).plain("lock release");
     });
 }

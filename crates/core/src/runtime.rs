@@ -1,7 +1,7 @@
 //! The per-thread transaction drivers: retry loops, the BTM abort handler
 //! (paper Algorithm 3), and the hybrid failover machinery.
 
-use ufotm_machine::{splitmix64, AbortInfo, AbortReason, AccessError, Addr, SimRng};
+use ufotm_machine::{splitmix64, AbortInfo, AbortReason, AccessError, Addr, PlainAccess, SimRng};
 use ufotm_sim::Ctx;
 use ufotm_tl2::Tl2Txn;
 use ufotm_ustm::{nont_load, TxnStatus, UstmAbort, UstmTxn};
@@ -256,7 +256,7 @@ impl TmThread {
             self.consecutive += 1;
             let backoff = self.policy.backoff_for(self.consecutive);
             ctx.with(|w| w.shared.tm().stats.backoff_cycles += backoff);
-            ctx.stall(backoff).expect("TL2 backoff");
+            ctx.stall(backoff).plain("TL2 backoff");
         }
     }
 
@@ -399,7 +399,7 @@ impl TmThread {
             }
         }
         ctx.with(|w| w.shared.tm().stats.backoff_cycles += cycles);
-        ctx.stall(cycles).expect("backoff stall");
+        ctx.stall(cycles).plain("backoff stall");
     }
 
     /// One watchdog observation: has the whole system committed anything
@@ -443,13 +443,13 @@ impl TmThread {
         loop {
             let active = ctx.with(|w| {
                 let a = w.shared.tm().serial.addr();
-                w.machine.load(cpu, a).expect("serial flag read");
+                w.machine.load(cpu, a).plain("serial flag read");
                 w.shared.tm().serial.active
             });
             if !active {
                 return;
             }
-            ctx.stall(200).expect("serial gate wait");
+            ctx.stall(200).plain("serial gate wait");
         }
     }
 
@@ -475,7 +475,7 @@ impl TmThread {
                 t.serial.raised += 1;
                 t.serial.addr()
             };
-            w.machine.store(cpu, a, 1).expect("serial flag raise");
+            w.machine.store(cpu, a, 1).plain("serial flag raise");
         });
         // Quiesce in-flight software transactions. Parked (`Retrying`)
         // sleepers may stay parked: they hold read ownership only, and a
@@ -493,7 +493,7 @@ impl TmThread {
             if !busy {
                 break;
             }
-            ctx.stall(120).expect("serial quiesce wait");
+            ctx.stall(120).plain("serial quiesce wait");
         }
         // Journaled only now — gate raised and quiesce complete — so the
         // SerialIrrevocable..PlainCommit window in the trace is exactly the
@@ -514,7 +514,7 @@ impl TmThread {
                 t.serial.active = false;
                 t.serial.addr()
             };
-            w.machine.store(cpu, a, 0).expect("serial flag lower");
+            w.machine.store(cpu, a, 0).plain("serial flag lower");
         });
         lock_release(ctx);
         ctx.with(|w| {
@@ -641,7 +641,7 @@ impl TmThread {
                         // The pool refill already happened; pay its cost
                         // outside the transaction and retry.
                         let cost = ctx.with(|w| w.shared.tm().alloc_model.syscall_cost);
-                        ctx.work(cost).expect("refill outside txn");
+                        ctx.work(cost).plain("refill outside txn");
                         ctx.with(|w| w.shared.tm().stats.hw_retries += 1);
                     }
                     _ => self.backoff(ctx),
@@ -703,8 +703,8 @@ impl TmThread {
                     let p = &w.shared.tm().phtm;
                     (p.must_addr(), p.stm_addr())
                 };
-                w.machine.load(cpu, ma).expect("must read");
-                w.machine.load(cpu, sa).expect("stm read");
+                w.machine.load(cpu, ma).plain("must read");
+                w.machine.load(cpu, sa).plain("stm read");
                 let p = &w.shared.tm().phtm;
                 (p.must_count, p.stm_count)
             });
@@ -715,8 +715,7 @@ impl TmThread {
             if stm != 0 {
                 // Draining back toward a hardware phase: stall, don't start.
                 ctx.with(|w| w.shared.tm().phtm.phase_stalls += 1);
-                ctx.stall(self.policy.backoff_base * 4)
-                    .expect("phase stall");
+                ctx.stall(self.policy.backoff_base * 4).plain("phase stall");
                 continue;
             }
             match self.hw_attempt(ctx, body, false, true) {
@@ -765,14 +764,14 @@ impl TmThread {
                 p.stm_count += 1;
             }
             let sv = w.shared.tm().phtm.stm_count;
-            w.machine.store(cpu, sa, sv).expect("stm count store");
+            w.machine.store(cpu, sa, sv).plain("stm count store");
             if mandatory {
                 {
                     let p = &mut w.shared.tm().phtm;
                     p.must_count += 1;
                 }
                 let mv = w.shared.tm().phtm.must_count;
-                w.machine.store(cpu, ma, mv).expect("must count store");
+                w.machine.store(cpu, ma, mv).plain("must count store");
             }
         });
         let r = self.ustm_path(ctx, body);
@@ -786,14 +785,14 @@ impl TmThread {
                 p.stm_count -= 1;
             }
             let sv = w.shared.tm().phtm.stm_count;
-            w.machine.store(cpu, sa, sv).expect("stm count store");
+            w.machine.store(cpu, sa, sv).plain("stm count store");
             if mandatory {
                 {
                     let p = &mut w.shared.tm().phtm;
                     p.must_count -= 1;
                 }
                 let mv = w.shared.tm().phtm.must_count;
-                w.machine.store(cpu, ma, mv).expect("must count store");
+                w.machine.store(cpu, ma, mv).plain("must count store");
             }
         });
         r
@@ -829,7 +828,7 @@ fn wake_sleepers<U: TmWorld>(ctx: &mut Ctx<U>, wakes: &[usize]) {
                 u.slots[s].woken = true;
                 u.slot_addr(s)
             };
-            w.machine.store(cpu, slot_addr, 4).expect("wake store");
+            w.machine.store(cpu, slot_addr, 4).plain("wake store");
         }
     });
 }

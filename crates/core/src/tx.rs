@@ -10,7 +10,7 @@
 //! the body must propagate the error with `?` so the driver in
 //! [`TmThread`](crate::TmThread) can apply its retry/failover policy.
 
-use ufotm_machine::{AbortInfo, AbortReason, AccessError, Addr, BtmEvent};
+use ufotm_machine::{AbortInfo, AbortReason, AccessError, Addr, BtmEvent, PlainAccess};
 use ufotm_sim::Ctx;
 use ufotm_tl2::{Tl2Abort, Tl2Txn};
 use ufotm_ustm::{nont_load, nont_store, retry_wait, Perm, UstmAbort, UstmTxn};
@@ -208,7 +208,7 @@ impl<'a> Tx<'a> {
                 }
             } else {
                 let cost = ctx.with(|w| w.shared.tm().alloc_model.syscall_cost);
-                ctx.work(cost).expect("syscall cost outside HW txn");
+                ctx.work(cost).plain("syscall cost outside HW txn");
             }
         }
         *self.alloc_budget -= 1;
@@ -241,7 +241,7 @@ impl<'a> Tx<'a> {
     ///
     /// Infallible today; `Result` for symmetry.
     pub fn free<U: TmWorld>(&mut self, ctx: &mut Ctx<U>, addr: Addr) -> Result<(), TxAbort> {
-        ctx.work(4).expect("free bookkeeping");
+        ctx.work(4).plain("free bookkeeping");
         self.frees.push(addr);
         Ok(())
     }
@@ -456,13 +456,13 @@ impl Bookkeeping {
 /// can be present, so errors are impossible.
 fn plain_load<U: TmWorld>(ctx: &mut Ctx<U>, addr: Addr) -> u64 {
     let cpu = ctx.cpu();
-    ctx.with(|w| w.machine.load(cpu, addr)).expect("plain load")
+    ctx.with(|w| w.machine.load(cpu, addr)).plain("plain load")
 }
 
 fn plain_store<U: TmWorld>(ctx: &mut Ctx<U>, addr: Addr, value: u64) {
     let cpu = ctx.cpu();
     ctx.with(|w| w.machine.store(cpu, addr, value))
-        .expect("plain store");
+        .plain("plain store");
 }
 
 /// HyTM's instrumented barrier: a *transactional* otable lookup before the

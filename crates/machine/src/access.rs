@@ -8,7 +8,7 @@
 //! hardware transactions zero-overhead.
 
 use crate::addr::{Addr, LineAddr};
-use crate::bits::BitIter;
+use crate::bits::{cpu_bit, BitIter};
 use crate::btm::{AbortInfo, AbortReason};
 use crate::cache::L1Insert;
 use crate::chaos::ChaosFaultKind;
@@ -178,14 +178,14 @@ impl Machine {
         // Only CPUs inside a transaction can hold speculative state, so the
         // scan walks the live-transaction mask instead of 0..cpus.
         let mut conflictors = 0u64;
-        for o in BitIter::new(self.live_txns & !(1u64 << cpu)) {
+        for o in BitIter::new(self.live_txns & !cpu_bit(cpu)) {
             let conflicts = if is_write {
                 self.btm[o].holds_spec(line)
             } else {
                 self.btm[o].wrote_spec(line)
             };
             if conflicts {
-                conflictors |= 1u64 << o;
+                conflictors |= cpu_bit(o);
             }
         }
         if conflictors == 0 {
@@ -326,7 +326,7 @@ impl Machine {
 
         // Kill speculative holders per policy (under the faithful protocol
         // the copies are invalidated by the exclusive acquisition below).
-        for o in BitIter::new(self.live_txns & !(1u64 << cpu)) {
+        for o in BitIter::new(self.live_txns & !cpu_bit(cpu)) {
             if !self.btm[o].holds_spec(line) {
                 continue;
             }

@@ -8,7 +8,7 @@
 //! the hybrid TM treats pool refills as system calls per the paper's §6
 //! `malloc` discussion).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::addr::{Addr, LINE_WORDS};
@@ -63,8 +63,9 @@ impl std::error::Error for AllocError {}
 pub struct SimAlloc {
     /// Free regions as (start_word, len_words), sorted by start, coalesced.
     free: Vec<(u64, u64)>,
-    /// Live allocation sizes by start word.
-    sizes: HashMap<u64, u64>,
+    /// Live allocation sizes by start word (ordered: the allocator lives in
+    /// deterministic, cycle-charged code, so no hasher-seeded state).
+    sizes: BTreeMap<u64, u64>,
     base_word: u64,
     total_words: u64,
 }
@@ -81,7 +82,7 @@ impl SimAlloc {
         let base_word = base.word_index();
         SimAlloc {
             free: vec![(base_word, words)],
-            sizes: HashMap::new(),
+            sizes: BTreeMap::new(),
             base_word,
             total_words: words,
         }

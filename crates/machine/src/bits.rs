@@ -8,6 +8,29 @@
 //! naturally clamps to the CPUs that actually appear — a machine configured
 //! with 4 CPUs never loops 64 times.
 
+/// The single-CPU bitmask `1 << cpu`, checked.
+///
+/// CPU sets are `u64` bitmasks, so only CPUs 0..=63 are representable. With
+/// a larger id, a raw `1 << cpu` is a *masked* shift in release builds and
+/// CPU 64 silently aliases CPU 0, corrupting owner and sharer masks — the
+/// PR-4 overflow class. [`Machine::new`](crate::Machine::new) rejects
+/// configurations with more than 64 CPUs; the debug assertion here catches
+/// any other caller handing an out-of-range id straight to mask arithmetic.
+///
+/// Every `1 << cpu`-shaped shift in the workspace must route through this
+/// helper (or the USTM ownership table's re-export of it); the
+/// `unchecked-cpu-shift` pass of `cargo xtask analyze` enforces exactly
+/// that.
+#[inline]
+#[must_use]
+pub fn cpu_bit(cpu: usize) -> u64 {
+    debug_assert!(
+        cpu < 64,
+        "CPU sets are u64 bitmasks: cpu {cpu} out of range"
+    );
+    1u64 << (cpu & 63)
+}
+
 /// Iterator over the set-bit positions of a `u64`, ascending.
 #[derive(Clone, Copy, Debug)]
 pub struct BitIter(u64);
@@ -70,6 +93,20 @@ mod tests {
         let it = BitIter::new(0b1011);
         assert_eq!(it.len(), 3);
         assert_eq!(it.size_hint(), (3, Some(3)));
+    }
+
+    #[test]
+    fn cpu_bit_matches_raw_shift_in_range() {
+        for cpu in 0..64 {
+            assert_eq!(cpu_bit(cpu), 1u64 << cpu);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    #[cfg(debug_assertions)]
+    fn cpu_bit_rejects_cpu_64() {
+        let _ = cpu_bit(64);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! implementations (`btm_begin`/`btm_end`/…) are methods on
 //! [`Machine`](crate::Machine).
 
+// analyze: allow(host-nondeterminism) -- hot-path membership/lookup state, pre-sized to L1 capacity so the steady state never allocates; the only iterations are the three allow-marked order-insensitive sweeps in machine.rs, so hasher randomness is never observable.
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 

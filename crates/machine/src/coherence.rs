@@ -10,7 +10,7 @@
 //! invariants.
 
 use crate::addr::LineAddr;
-use crate::bits::BitIter;
+use crate::bits::{cpu_bit, BitIter};
 use crate::ufo::UfoBits;
 
 /// Directory state for one line.
@@ -66,12 +66,12 @@ impl Directory {
     /// callers that need to mutate the machine per holder can grab it
     /// first and iterate `BitIter::new(mask)` without borrowing `self`.
     pub fn holders_mask_except(&self, line: LineAddr, except: usize) -> u64 {
-        self.state(line).sharers & !(1u64 << except)
+        self.state(line).sharers & !cpu_bit(except)
     }
 
     /// Whether `cpu` holds the line (in any state).
     pub fn is_sharer(&self, line: LineAddr, cpu: usize) -> bool {
-        self.state(line).sharers & (1 << cpu) != 0
+        self.state(line).sharers & cpu_bit(cpu) != 0
     }
 
     /// Number of CPUs holding the line (the chaos engine scales injected
@@ -84,7 +84,7 @@ impl Directory {
     /// the owner keeps a shared copy.
     pub fn add_sharer(&mut self, line: LineAddr, cpu: usize) {
         let i = self.idx(line);
-        self.lines[i].sharers |= 1 << cpu;
+        self.lines[i].sharers |= cpu_bit(cpu);
         self.lines[i].owner = None;
         self.check(line);
     }
@@ -92,7 +92,7 @@ impl Directory {
     /// Records `cpu` as the sole, exclusive holder.
     pub fn set_exclusive(&mut self, line: LineAddr, cpu: usize) {
         let i = self.idx(line);
-        self.lines[i].sharers = 1 << cpu;
+        self.lines[i].sharers = cpu_bit(cpu);
         self.lines[i].owner = Some(cpu as u8);
         self.check(line);
     }
@@ -100,7 +100,7 @@ impl Directory {
     /// Removes `cpu` from the sharer set (eviction or invalidation).
     pub fn remove_sharer(&mut self, line: LineAddr, cpu: usize) {
         let i = self.idx(line);
-        self.lines[i].sharers &= !(1u64 << cpu);
+        self.lines[i].sharers &= !cpu_bit(cpu);
         if self.lines[i].owner == Some(cpu as u8) {
             self.lines[i].owner = None;
         }
@@ -127,7 +127,7 @@ impl Directory {
         if let Some(o) = s.owner {
             debug_assert_eq!(
                 s.sharers,
-                1u64 << o,
+                cpu_bit(o as usize),
                 "owner {o} of {line:?} must be sole sharer"
             );
         }

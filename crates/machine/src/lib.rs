@@ -67,12 +67,12 @@ pub use addr::{
     Addr, LineAddr, PageAddr, LINE_BYTES, LINE_WORDS, PAGE_BYTES, PAGE_LINES, WORD_BYTES,
 };
 pub use alloc::{AllocError, SimAlloc};
-pub use bits::BitIter;
+pub use bits::{cpu_bit, BitIter};
 pub use btm::{AbortInfo, AbortReason, BtmEvent, BtmStatus};
 pub use cache::CacheGeometry;
 pub use chaos::{ChaosEvent, ChaosFaultKind, ChaosStats, FaultPlan};
 pub use config::{CostModel, HwCmPolicy, MachineConfig, UfoKillPolicy};
-pub use machine::{AccessError, AccessResult, CpuId, Machine};
+pub use machine::{AccessError, AccessResult, CpuId, Machine, PlainAccess};
 pub use rng::{splitmix64, SimRng};
 pub use stats::{CpuStats, MachineStats};
 pub use swap::{SwapConfig, SwapStats};

@@ -9,6 +9,7 @@
 use std::fmt;
 
 use crate::addr::Addr;
+use crate::bits::cpu_bit;
 use crate::btm::{AbortInfo, AbortReason, BtmCpu, BtmEvent, BtmStatus};
 use crate::cache::{L1Cache, L2Cache};
 use crate::chaos::{ChaosFaultKind, ChaosState};
@@ -60,6 +61,36 @@ impl fmt::Display for AccessError {
 }
 
 impl std::error::Error for AccessError {}
+
+/// Unwrapping extension for machine results on *plain-access* paths.
+///
+/// Software layers frequently issue machine operations at points where the
+/// protocol guarantees the operation cannot fail: the CPU is outside any BTM
+/// transaction (so no [`AccessError::TxnAbort`], and no
+/// [`AccessError::Nacked`] — NACKs, including chaos-injected ones, target
+/// only live-transaction requesters), and UFO fault delivery is either
+/// disabled or already resolved by the caller. Scattering `.unwrap()` /
+/// `.expect()` over such sites is exactly the chaos-NACK crash class: a
+/// later protocol change silently turns the "impossible" error into a
+/// panic. The `panicking-machine-access` pass of `cargo xtask analyze`
+/// rejects those raw unwraps; this trait is the audited replacement — one
+/// place that states the invariant, with a per-site label for diagnostics.
+pub trait PlainAccess<T> {
+    /// Unwraps the result of a machine operation issued on a plain-access
+    /// path, panicking with `what` and the machine error if the protocol
+    /// invariant above was violated (always a bug in the calling layer).
+    fn plain(self, what: &str) -> T;
+}
+
+impl<T> PlainAccess<T> for AccessResult<T> {
+    #[track_caller]
+    fn plain(self, what: &str) -> T {
+        match self {
+            Ok(v) => v,
+            Err(e) => panic!("{what}: machine error on a plain-access path: {e}"),
+        }
+    }
+}
 
 /// The simulated multiprocessor. See the [crate docs](crate) for an overview.
 pub struct Machine {
@@ -245,6 +276,7 @@ impl Machine {
         // preclude iterating the write set in place.
         let mut written = std::mem::take(&mut self.btm[cpu].scratch_lines);
         written.clear();
+        // analyze: allow(nondet-iteration) -- order-insensitive: each line is invalidated/removed independently, no cycles are charged per element, and the final cache/directory state commutes.
         written.extend(self.btm[cpu].write_set.iter().copied());
         for &line in &written {
             if self.l1[cpu].invalidate(line).is_some() || self.dir.is_sharer(line, cpu) {
@@ -257,7 +289,7 @@ impl Machine {
         self.stats.cpus[cpu].record_abort(info.reason);
         self.btm[cpu].last_abort = Some(info);
         self.btm[cpu].reset();
-        self.live_txns &= !(1u64 << cpu);
+        self.live_txns &= !cpu_bit(cpu);
     }
 
     /// Marks another CPU's live transaction as killed; it will notice (and
@@ -297,7 +329,7 @@ impl Machine {
         b.depth = 1;
         b.ts = ts;
         b.doomed = None;
-        self.live_txns |= 1u64 << cpu;
+        self.live_txns |= cpu_bit(cpu);
         Ok(())
     }
 
@@ -321,10 +353,10 @@ impl Machine {
             return Ok(());
         }
         // Outermost commit: publish the write buffer, staged through the
-        // reusable scratch buffer (writes target distinct words, so the
-        // HashMap iteration order cannot affect the published memory).
+        // reusable scratch buffer.
         let mut writes = std::mem::take(&mut self.btm[cpu].scratch_writes);
         writes.clear();
+        // analyze: allow(nondet-iteration) -- order-insensitive: speculative writes target distinct words, so the published memory image is identical under any HashMap iteration order, and no cycles are charged per element.
         writes.extend(self.btm[cpu].spec_writes.iter().map(|(&a, &v)| (a, v)));
         for &(word, value) in &writes {
             self.mem.write(Addr::from_word_index(word), value);
@@ -334,7 +366,7 @@ impl Machine {
         self.l1[cpu].flash_clear_spec();
         self.stats.cpus[cpu].btm_commits += 1;
         self.btm[cpu].reset();
-        self.live_txns &= !(1u64 << cpu);
+        self.live_txns &= !cpu_bit(cpu);
         Ok(())
     }
 
@@ -480,7 +512,7 @@ impl Machine {
     pub fn debug_validate(&self) {
         for (cpu, b) in self.btm.iter().enumerate() {
             assert_eq!(
-                self.live_txns & (1u64 << cpu) != 0,
+                self.live_txns & cpu_bit(cpu) != 0,
                 b.active,
                 "live-txn mask out of sync with cpu {cpu}"
             );
@@ -507,6 +539,7 @@ impl Machine {
                     b.spec_writes.is_empty() && b.read_set.is_empty() && b.write_set.is_empty()
                 );
             } else {
+                // analyze: allow(nondet-iteration) -- order-insensitive: assertion-only sweep; every key is checked independently and nothing is charged or mutated.
                 for &word in b.spec_writes.keys() {
                     let line = Addr::from_word_index(word).line();
                     assert!(

@@ -10,7 +10,7 @@
 //!
 //! Paging is off by default; enable it with [`Machine::enable_swap`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::addr::{Addr, PageAddr, PAGE_LINES};
 use crate::btm::{AbortInfo, AbortReason};
@@ -70,11 +70,15 @@ impl SwapStats {
 #[derive(Debug)]
 pub(crate) struct SwapState {
     cfg: SwapConfig,
-    /// Resident pages with an LRU timestamp.
-    resident: HashMap<PageAddr, u64>,
+    /// Resident pages with an LRU timestamp. A `BTreeMap`, not a
+    /// `HashMap`: the eviction loop and the LRU scan iterate this map, and
+    /// replay determinism requires those sweeps to visit pages in an order
+    /// independent of hasher seeding (the PR-3 nondet-iteration class).
+    resident: BTreeMap<PageAddr, u64>,
     tick: u64,
-    /// Saved UFO bits for swapped-out pages (one entry per line of the page).
-    saved_bits: HashMap<PageAddr, Vec<UfoBits>>,
+    /// Saved UFO bits for swapped-out pages (one entry per line of the
+    /// page). Ordered for the same reason as `resident`.
+    saved_bits: BTreeMap<PageAddr, Vec<UfoBits>>,
     stats: SwapStats,
 }
 
@@ -86,9 +90,9 @@ impl SwapState {
         );
         SwapState {
             cfg,
-            resident: HashMap::new(),
+            resident: BTreeMap::new(),
             tick: 0,
-            saved_bits: HashMap::new(),
+            saved_bits: BTreeMap::new(),
             stats: SwapStats::default(),
         }
     }

@@ -8,7 +8,7 @@
 //! test for robust contention management and the source of its periodic
 //! cache overflows (long prefixes overflow the L1).
 
-use ufotm_machine::{Addr, Machine};
+use ufotm_machine::{Addr, Machine, PlainAccess};
 
 use crate::harness::{chunk, run_workload, RunOutcome, RunSpec, STATIC_BASE};
 use crate::structures::{HashSet, SortedList};
@@ -84,14 +84,14 @@ pub fn run(spec: &RunSpec, params: &GenomeParams) -> RunOutcome {
                 if fresh {
                     mine.push(key);
                 }
-                ctx.work(30).expect("segment prep");
+                ctx.work(30).plain("segment prep");
             }
             Barrier::wait(ctx);
             // Phase 2: sorted assembly (the contention stress).
             for key in mine {
                 let inserted = t.transaction(ctx, |tx, ctx| list.insert(tx, ctx, key, key ^ 1));
                 assert!(inserted, "key {key} was uniquely ours");
-                ctx.work(20).expect("assembly prep");
+                ctx.work(20).plain("assembly prep");
             }
             Barrier::wait(ctx);
             // Phase 3: matching — read-mostly probes against the set (the
@@ -109,7 +109,7 @@ pub fn run(spec: &RunSpec, params: &GenomeParams) -> RunOutcome {
                     Ok(hits)
                 });
                 assert!(hits >= 1, "own segment must be present");
-                ctx.work(120).expect("match compute");
+                ctx.work(120).plain("match compute");
             }
         })
     };

@@ -9,7 +9,7 @@
 //! Between iterations, thread 0 recomputes the centres at a barrier.
 
 use ufotm_core::{nont_load, nont_store};
-use ufotm_machine::{Addr, Machine, LINE_WORDS};
+use ufotm_machine::{Addr, Machine, PlainAccess, LINE_WORDS};
 
 use crate::harness::{chunk, run_workload, RunOutcome, RunSpec, STATIC_BASE};
 use crate::world::{Barrier, StampWorld};
@@ -156,7 +156,7 @@ pub fn run(spec: &RunSpec, params: &KmeansParams) -> RunOutcome {
                         }
                     }
                     ctx.work((p.clusters * p.dims * 3) as u64)
-                        .expect("distance compute");
+                        .plain("distance compute");
                     let k = nearest(&pt, &centers);
                     // The transaction: fold the point into accumulator k.
                     let pt2 = pt.clone();

@@ -8,7 +8,7 @@
 //! extension: every TM system should scale here, with hybrids committing
 //! ~everything in hardware.
 
-use ufotm_machine::{Addr, Machine, LINE_WORDS};
+use ufotm_machine::{Addr, Machine, PlainAccess, LINE_WORDS};
 
 use crate::harness::{chunk, run_workload, RunOutcome, RunSpec, STATIC_BASE};
 use crate::world::StampWorld;
@@ -80,7 +80,7 @@ pub fn run(spec: &RunSpec, params: &Ssca2Params) -> RunOutcome {
                     tx.write(ctx, node.add_words(1), deg + 1)?;
                     Ok(())
                 });
-                ctx.work(40).expect("edge prep");
+                ctx.work(40).plain("edge prep");
             }
         })
     };

@@ -1,7 +1,7 @@
 //! The workload world type: the combined TM state plus a phase barrier.
 
 use ufotm_core::{HasTm, TmShared};
-use ufotm_machine::Addr;
+use ufotm_machine::{Addr, PlainAccess};
 use ufotm_sim::Ctx;
 use ufotm_tl2::{HasTl2, Tl2Shared};
 use ufotm_ustm::{HasUstm, UstmShared};
@@ -78,19 +78,19 @@ impl Barrier {
             }
             w.machine
                 .store(cpu, addr, arrived as u64)
-                .expect("barrier store");
+                .plain("barrier store");
             my
         });
         loop {
             let released = ctx.with(|w| {
                 let (addr, sense) = (w.shared.barrier.addr, w.shared.barrier.sense);
-                w.machine.load(cpu, addr).expect("barrier load");
+                w.machine.load(cpu, addr).plain("barrier load");
                 sense == my_sense
             });
             if released {
                 return;
             }
-            ctx.stall(60).expect("barrier spin");
+            ctx.stall(60).plain("barrier spin");
         }
     }
 }

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use ufotm_machine::{AccessResult, Addr, LineAddr, UfoBits, LINE_WORDS};
+use ufotm_machine::{cpu_bit, AccessResult, Addr, LineAddr, UfoBits, LINE_WORDS};
 use ufotm_sim::Ctx;
 
 use crate::otable::Perm;
@@ -593,7 +593,7 @@ fn resolve_conflict(
         if o == cpu {
             continue;
         }
-        mask |= 1 << o;
+        mask |= cpu_bit(o);
         match u.slots[o].status {
             TxnStatus::Active => {
                 if u.slots[o].ts > my_ts {

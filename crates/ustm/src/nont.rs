@@ -6,7 +6,7 @@
 //! resolving the conflict per a software-defined policy. When there is no
 //! conflict, [`nont_load`]/[`nont_store`] are exactly one machine access.
 
-use ufotm_machine::{AccessError, Addr};
+use ufotm_machine::{AccessError, Addr, PlainAccess};
 use ufotm_sim::Ctx;
 
 use crate::txn::TxnStatus;
@@ -72,7 +72,7 @@ fn handle_fault<U: HasUstm>(ctx: &mut Ctx<U>, addr: Addr) {
         let line = addr.line();
         // One otable inspection (the handler reads the bin).
         let bin = u.otable.bin_addr_of(line);
-        m.load(cpu, bin).expect("handler bin read");
+        m.load(cpu, bin).plain("handler bin read");
         if let Some((_, e)) = u.otable.lookup(line) {
             // `owner_cpus` yields an owned bit iterator, so the otable
             // borrow ends here and the slots below can be mutated.
@@ -93,7 +93,7 @@ fn handle_fault<U: HasUstm>(ctx: &mut Ctx<U>, addr: Addr) {
         }
         u.config.poll_backoff
     });
-    ctx.stall(backoff).expect("stall outside txn");
+    ctx.stall(backoff).plain("stall outside txn");
 }
 
 #[cfg(test)]

@@ -16,6 +16,13 @@
 
 use ufotm_machine::{Addr, BitIter, LineAddr};
 
+/// Owner masks are CPU sets, and CPU sets are `u64` bitmasks — the checked
+/// shift lives in one place, [`ufotm_machine::cpu_bit`], shared with the
+/// machine's directory and live-transaction masks. (A raw `1 << cpu` would
+/// be a masked shift in release builds, silently aliasing CPU 64 onto
+/// CPU 0 and corrupting ownership — the PR-4 overflow class.)
+use ufotm_machine::cpu_bit as owner_bit;
+
 /// Permission a transaction set holds on a line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Perm {
@@ -34,21 +41,6 @@ pub struct OtableEntry {
     pub perm: Perm,
     /// Bitmask of owner CPUs (multiple only for [`Perm::Read`]).
     pub owners: u64,
-}
-
-/// Owner masks are `u64`, so only CPUs 0..=63 are representable. With a
-/// larger id, `1 << cpu` is a masked shift in release builds and CPU 64
-/// silently aliases CPU 0, corrupting ownership. [`Machine::new`] rejects
-/// configurations with more than 64 CPUs; these debug assertions catch any
-/// other caller handing an out-of-range id straight to the table.
-///
-/// [`Machine::new`]: ufotm_machine::Machine::new
-fn owner_bit(cpu: usize) -> u64 {
-    debug_assert!(
-        cpu < 64,
-        "otable owner masks are u64: cpu {cpu} out of range"
-    );
-    1u64 << (cpu & 63)
 }
 
 impl OtableEntry {

@@ -1,0 +1,102 @@
+//! `cargo xtask` — the workspace task runner.
+//!
+//! The only task today is `analyze`, the static-analysis gate:
+//!
+//! ```text
+//! cargo xtask analyze                   # human report, exit 1 on findings
+//! cargo xtask analyze --json out.json   # also write the machine report
+//! cargo xtask analyze --baseline FILE   # use an alternate baseline file
+//! cargo xtask analyze --write-baseline  # grandfather current findings
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ufotm_analyze as analyze;
+
+fn repo_root() -> PathBuf {
+    // xtask lives at <root>/xtask, so the workspace root is one level up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask has a parent directory")
+        .to_path_buf()
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo xtask analyze [--json PATH] [--baseline PATH] [--write-baseline]\n\
+         \n\
+         Runs the workspace lint passes (see docs/STATIC_ANALYSIS.md):\n\
+         {}",
+        analyze::lints::LINTS
+            .iter()
+            .map(|l| format!("  - {l}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(("analyze", rest)) = args.split_first().map(|(c, r)| (c.as_str(), r)) else {
+        return usage();
+    };
+
+    let root = repo_root();
+    let mut json_path: Option<PathBuf> = None;
+    let mut baseline_path = root.join("analyze-baseline.txt");
+    let mut write_baseline = false;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = PathBuf::from(p),
+                None => return usage(),
+            },
+            "--write-baseline" => write_baseline = true,
+            _ => return usage(),
+        }
+    }
+
+    let report = match analyze::analyze_workspace_with_baseline(&root, &baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_baseline {
+        let content = analyze::baseline_content(&report.findings);
+        if let Err(e) = std::fs::write(&baseline_path, content) {
+            eprintln!("analyze: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "analyze: wrote {} entr(ies) to {}",
+            report.findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    print!("{}", analyze::render_text(&report));
+    if let Some(p) = json_path {
+        if let Err(e) = std::fs::write(&p, analyze::render_json(&report)) {
+            eprintln!("analyze: cannot write {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
