@@ -1,4 +1,4 @@
-//! The five repo-specific lint passes (D1–D5).
+//! The six repo-specific lint passes (D1–D6).
 //!
 //! Each pass is a token-level pattern matcher over [`crate::lexer::Lexed`]
 //! streams with test code stripped. The passes encode *protocol* rules the
@@ -17,6 +17,9 @@
 //! * [`PANICKING_MACHINE_ACCESS`] — `.unwrap()`/`.expect()` chained
 //!   directly onto a machine access in simulation code instead of the
 //!   audited `PlainAccess::plain` route (defined in `ufotm-machine`).
+//! * [`PERSIST_BYPASS`] — a direct `mem.write` in the machine crate
+//!   outside the audited `mem_write` funnel: such a write could shadow the
+//!   volatile/durable split the persistence domain depends on.
 
 use crate::lexer::TokenKind;
 use crate::{Finding, SourceFile, WorkspaceIndex};
@@ -31,6 +34,8 @@ pub const HOST_NONDETERMINISM: &str = "host-nondeterminism";
 pub const STATS_MERGE_EXHAUSTIVENESS: &str = "stats-merge-exhaustiveness";
 /// Lint name: panicking call chained onto a machine access.
 pub const PANICKING_MACHINE_ACCESS: &str = "panicking-machine-access";
+/// Lint name: direct `mem.write` outside the audited `mem_write` funnel.
+pub const PERSIST_BYPASS: &str = "persist-bypass";
 /// Pseudo-lint: a suppression marker missing its `-- <reason>`.
 pub const BAD_SUPPRESSION: &str = "bad-suppression";
 /// Pseudo-lint: a suppression marker that matched no finding.
@@ -43,6 +48,7 @@ pub const LINTS: &[&str] = &[
     HOST_NONDETERMINISM,
     STATS_MERGE_EXHAUSTIVENESS,
     PANICKING_MACHINE_ACCESS,
+    PERSIST_BYPASS,
 ];
 
 /// Crates whose code runs under the cycle-charged simulation clock: any
@@ -71,6 +77,8 @@ const MACHINE_METHODS: &[&str] = &[
     "read_ufo_bits",
     "set_ufo_bits",
     "add_ufo_bits",
+    "persist_flush",
+    "persist_fence",
 ];
 
 /// HashMap/HashSet iteration methods whose visit order is hasher-dependent.
@@ -111,6 +119,9 @@ pub fn run_passes(file: &SourceFile, index: &WorkspaceIndex, out: &mut Vec<Findi
     if in_deterministic {
         host_nondeterminism(file, out);
         panicking_machine_access(file, out);
+    }
+    if file.crate_name == "machine" {
+        persist_bypass(file, out);
     }
     stats_merge_exhaustiveness(file, out);
 }
@@ -434,6 +445,35 @@ fn stats_merge_exhaustiveness(file: &SourceFile, out: &mut Vec<Finding>) {
             );
         }
         i = k.max(i + 2);
+    }
+}
+
+/// D6: flags direct `mem . write (` calls in the machine crate. Durability
+/// is modelled explicitly — a store lands volatile and becomes durable only
+/// via flush+fence — so every simulated store must funnel through the one
+/// audited `mem_write` interception point. A stray `mem.write` elsewhere
+/// can desynchronize the volatile and durable images (or skip persistence
+/// accounting entirely), which no test catches until a crash-recovery
+/// sweep happens to land on it.
+fn persist_bypass(file: &SourceFile, out: &mut Vec<Finding>) {
+    let t = &file.tokens;
+    for i in 0..t.len() {
+        if t[i].is_ident("mem")
+            && t.get(i + 1).is_some_and(|x| x.is_punct("."))
+            && t.get(i + 2).is_some_and(|x| x.is_ident("write"))
+            && t.get(i + 3).is_some_and(|x| x.is_punct("("))
+        {
+            push(
+                out,
+                PERSIST_BYPASS,
+                file,
+                t[i + 2].line,
+                "direct `mem.write(…)` bypasses the audited `mem_write` funnel: the \
+                 durable image and persistence accounting never see this store \
+                 (route through `mem_write`, or justify with an allow marker)"
+                    .to_string(),
+            );
+        }
     }
 }
 

@@ -1,0 +1,39 @@
+//@ path: crates/machine/src/fixture.rs
+//! D6 negative: stores routed through the audited funnel, reads of the
+//! memory image, and `write` calls on non-`mem` receivers are all fine.
+
+pub fn commit_word(m: &mut Machine, addr: u64, v: u64) {
+    m.mem_write(addr, v);
+}
+
+pub fn inspect(m: &Machine, addr: u64) -> u64 {
+    m.mem.read(addr)
+}
+
+pub fn log_line(sink: &mut Sink, line: u64) {
+    sink.write(line);
+}
+
+pub struct Mem;
+impl Mem {
+    pub fn read(&self, _a: u64) -> u64 {
+        0
+    }
+    pub fn write(&mut self, _a: u64, _v: u64) {}
+}
+
+pub struct Machine {
+    pub mem: Mem,
+}
+impl Machine {
+    pub fn mem_write(&mut self, a: u64, v: u64) {
+        // The real funnel carries its own allow marker; this fixture only
+        // needs the call-site side to stay quiet.
+        let _ = (a, v);
+    }
+}
+
+pub struct Sink;
+impl Sink {
+    pub fn write(&mut self, _line: u64) {}
+}

@@ -1,0 +1,20 @@
+//@ path: crates/machine/src/fixture.rs
+//! D6 positive: direct `mem.write` calls outside the audited `mem_write`
+//! funnel — the durable image and persistence accounting never see them.
+
+pub fn commit_word(m: &mut Machine, addr: u64, v: u64) {
+    m.mem.write(addr, v); //~ persist-bypass
+}
+
+pub fn scribble(mem: &mut Mem, addr: u64, v: u64) {
+    mem.write(addr, v); //~ persist-bypass
+}
+
+pub struct Mem;
+impl Mem {
+    pub fn write(&mut self, _a: u64, _v: u64) {}
+}
+
+pub struct Machine {
+    pub mem: Mem,
+}

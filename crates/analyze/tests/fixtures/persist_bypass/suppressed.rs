@@ -1,0 +1,16 @@
+//@ path: crates/machine/src/fixture.rs
+//! D6 suppressed: the funnel itself — the one sanctioned direct write.
+
+pub fn mem_write(m: &mut Machine, addr: u64, v: u64) {
+    // analyze: allow(persist-bypass) -- the interception point itself: the one sanctioned direct write; durability comes only from flush+fence.
+    m.mem.write(addr, v);
+}
+
+pub struct Mem;
+impl Mem {
+    pub fn write(&mut self, _a: u64, _v: u64) {}
+}
+
+pub struct Machine {
+    pub mem: Mem,
+}

@@ -30,16 +30,21 @@ mod audit;
 mod lockbase;
 mod phtm;
 mod policy;
+mod reboot;
 mod report;
 mod runtime;
 mod shared;
 mod trace;
 mod tx;
 
-pub use audit::{audit_events, audit_log, AuditReport, AuditViolation, CommitPath, TxnRecord};
+pub use audit::{
+    audit_events, audit_events_durable, audit_log, AuditReport, AuditViolation, CommitPath,
+    TxnRecord,
+};
 pub use lockbase::LockShared;
 pub use phtm::PhtmShared;
 pub use policy::{BtmUfoFaultPolicy, HybridPolicy};
+pub use reboot::{crashed_journal, recover_world};
 pub use report::{CycleAttribution, Log2Histogram, RunReport, TraceSummary, ABORT_TAXONOMY};
 pub use runtime::TmThread;
 pub use shared::{

@@ -1,0 +1,137 @@
+//! Reboot and recovery orchestration for crashed persistent runs.
+//!
+//! A power failure latches a [`CrashImage`] inside the machine while the
+//! simulation keeps running ("ghost execution" — the pre-crash timeline is
+//! still needed for determinism checks). Rebooting is therefore a host-side
+//! reconstruction:
+//!
+//! 1. [`crashed_journal`] truncates the run's trace to what the crashed
+//!    world had journaled and marks the cut with a
+//!    [`TraceKind::PowerFail`] event.
+//! 2. A fresh [`Machine`] with the same configuration gets the durable
+//!    image via [`Machine::install_image`], and a fresh [`TmShared`] is
+//!    built with the same layout (software state does not survive a crash).
+//! 3. [`recover_world`] replays USTM's durable redo windows and journals
+//!    one [`TraceKind::RecoveryReplay`] per CPU, so the combined
+//!    crash-plus-recovery journal can be audited end to end with
+//!    [`audit_events_durable`](crate::audit_events_durable).
+
+use ufotm_machine::{ChaosFaultKind, CrashImage, Machine};
+use ufotm_ustm::CpuRecovery;
+
+use crate::shared::TmShared;
+use crate::trace::{TraceEvent, TraceKind, TraceLog};
+
+/// The journal as the crashed world saw it, capped with a
+/// [`TraceKind::PowerFail`] marker.
+///
+/// When the failure was chaos-injected, the drained
+/// `FaultInjected(power-fail)` event marks the exact recording-order cut:
+/// every runtime event drains the chaos journal before recording itself,
+/// so everything before that event happened strictly before the latch and
+/// everything at or after it is ghost execution. Without such an event
+/// (a host-side [`Machine::power_fail`] call) the cut falls back to the
+/// failing CPU's crash cycle — exact for single-CPU runs, and a
+/// within-one-operation approximation when CPU clocks diverge.
+#[must_use]
+pub fn crashed_journal(trace: &TraceLog, crash: &CrashImage) -> Vec<TraceEvent> {
+    let cut = trace
+        .events()
+        .iter()
+        .position(|e| e.kind == TraceKind::FaultInjected(ChaosFaultKind::PowerFail));
+    let mut events: Vec<TraceEvent> = match cut {
+        Some(i) => trace.events()[..i].to_vec(),
+        None => trace
+            .events()
+            .iter()
+            .copied()
+            .filter(|e| e.cycle <= crash.cycle())
+            .collect(),
+    };
+    events.push(TraceEvent {
+        cycle: crash.cycle(),
+        cpu: crash.cpu(),
+        kind: TraceKind::PowerFail,
+    });
+    events
+}
+
+/// Runs crash recovery on a rebooted world and extends `journal` with the
+/// per-CPU [`TraceKind::RecoveryReplay`] events, returning what each CPU's
+/// redo window yielded.
+///
+/// `machine` must be a fresh machine holding the crash's durable image and
+/// `shared` a fresh shared state with the crashed run's layout; `journal`
+/// is typically the output of [`crashed_journal`].
+pub fn recover_world(
+    machine: &mut Machine,
+    shared: &mut TmShared,
+    journal: &mut Vec<TraceEvent>,
+) -> Vec<CpuRecovery> {
+    let recoveries = shared.ustm.recover(machine);
+    for r in &recoveries {
+        journal.push(TraceEvent {
+            cycle: machine.now(r.cpu),
+            cpu: r.cpu,
+            kind: TraceKind::RecoveryReplay(u32::try_from(r.replayed_records).unwrap_or(u32::MAX)),
+        });
+    }
+    recoveries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crashed_journal_truncates_and_marks() {
+        use ufotm_machine::{Machine, MachineConfig, PersistConfig};
+        let mut cfg = MachineConfig::table4(2);
+        cfg.persist = Some(PersistConfig::default());
+        let mut m = Machine::new(cfg);
+        // Advance cpu 0 a little so the crash lands mid-run.
+        for _ in 0..10 {
+            let _ = m.load(0, ufotm_machine::Addr(0)).expect("plain load");
+        }
+        assert!(m.power_fail(0));
+        let crash = m.crash_image().expect("latched").clone();
+
+        let mut log = TraceLog::default();
+        log.enable(16);
+        log.record(1, 0, TraceKind::SwBegin);
+        log.record(crash.cycle(), 0, TraceKind::SwCommit);
+        log.record(crash.cycle() + 1, 1, TraceKind::SwBegin); // ghost
+        let j = crashed_journal(&log, &crash);
+        assert_eq!(j.len(), 3);
+        assert_eq!(j[2].kind, TraceKind::PowerFail);
+        assert_eq!(j[2].cpu, 0);
+        assert!(j.iter().all(|e| e.cycle <= crash.cycle()));
+    }
+
+    #[test]
+    fn injected_fault_event_cuts_by_recording_order() {
+        use ufotm_machine::{Machine, MachineConfig, PersistConfig};
+        let mut cfg = MachineConfig::table4(2);
+        cfg.persist = Some(PersistConfig::default());
+        let mut m = Machine::new(cfg);
+        assert!(m.power_fail(0));
+        let crash = m.crash_image().expect("latched").clone();
+
+        let mut log = TraceLog::default();
+        log.enable(16);
+        // cpu 1's clock ran ahead of the failing cpu; its pre-crash event
+        // must survive the cut even though its cycle exceeds the crash
+        // cycle.
+        log.record(crash.cycle() + 50, 1, TraceKind::SwBegin);
+        log.record(
+            crash.cycle(),
+            0,
+            TraceKind::FaultInjected(ChaosFaultKind::PowerFail),
+        );
+        log.record(crash.cycle() + 90, 1, TraceKind::SwCommit); // ghost
+        let j = crashed_journal(&log, &crash);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j[0].kind, TraceKind::SwBegin);
+        assert_eq!(j[1].kind, TraceKind::PowerFail);
+    }
+}

@@ -14,11 +14,11 @@
 
 use std::collections::BTreeMap;
 
-use ufotm_machine::{AbortReason, ChaosStats, CpuStats, Machine, SwapStats};
+use ufotm_machine::{AbortReason, ChaosStats, CpuStats, Machine, PersistStats, SwapStats};
 use ufotm_tl2::Tl2Stats;
 use ufotm_ustm::{OtableOccupancy, UstmStats};
 
-use crate::audit::{audit_log, CommitPath};
+use crate::audit::{audit_events, audit_events_durable, CommitPath};
 use crate::shared::TmShared;
 
 /// The Figure-6 abort taxonomy: groups [`AbortReason`]s into the buckets
@@ -169,6 +169,8 @@ pub struct RunReport {
     pub otable: OtableOccupancy,
     /// Demand-paging counters.
     pub swap: SwapStats,
+    /// Persistence-domain counters (all zeros on volatile machines).
+    pub persist: PersistStats,
     /// Fault-injection counters.
     pub chaos: ChaosStats,
     /// Audited trace journal summary.
@@ -188,7 +190,13 @@ impl RunReport {
             .max()
             .unwrap_or(0);
         let agg = machine.stats().aggregate();
-        let audit = audit_log(&shared.trace);
+        // A persistent machine's journal must also satisfy the durability
+        // invariants (fence-before-commit, no resurrection, idempotence).
+        let audit = if machine.persist_enabled() {
+            audit_events_durable(shared.trace.events(), shared.trace.truncated())
+        } else {
+            audit_events(shared.trace.events(), shared.trace.truncated())
+        };
 
         let mut trace = TraceSummary {
             events: shared.trace.events().len() as u64,
@@ -216,6 +224,16 @@ impl RunReport {
             trace.latency_log2.record(t.latency());
             trace.retry_log2.record(u64::from(t.retries()));
         }
+        // A dropped UFO bit is silent protection loss — strong atomicity
+        // can no longer be trusted, so surface it as an audit violation
+        // rather than a counter a reader might skim past.
+        let dropped = machine.swap_stats().ufo_bits_dropped;
+        if dropped != 0 {
+            trace.audit_violations += 1;
+            trace.audit_violation_samples.push(format!(
+                "swap dropped {dropped} UFO bit(s): strong atomicity was silently lost"
+            ));
+        }
 
         RunReport {
             system: shared.kind.label(),
@@ -241,6 +259,7 @@ impl RunReport {
             ),
             otable: shared.ustm.otable.occupancy(),
             swap: machine.swap_stats(),
+            persist: machine.persist_stats(),
             chaos: machine.chaos_stats(),
             trace,
         }
@@ -348,6 +367,11 @@ impl RunReport {
         ustm.u64("retries_woken", self.ustm.retries_woken);
         ustm.u64("barrier_cycles", self.ustm.barrier_cycles);
         ustm.u64("max_chain_seen", self.ustm.max_chain_seen);
+        ustm.u64("redo_records", self.ustm.redo_records);
+        ustm.u64("recovery_runs", self.ustm.recovery_runs);
+        ustm.u64("recovered_records", self.ustm.recovered_records);
+        ustm.u64("recovered_lines", self.ustm.recovered_lines);
+        ustm.u64("torn_records", self.ustm.torn_records);
         root.raw("ustm", &ustm.close());
 
         let mut tl2 = JsonObj::new();
@@ -380,12 +404,22 @@ impl RunReport {
         swap.u64("ufo_bits_dropped", self.swap.ufo_bits_dropped);
         root.raw("swap", &swap.close());
 
+        let mut persist = JsonObj::new();
+        persist.u64("flushes", self.persist.flushes);
+        persist.u64("fences", self.persist.fences);
+        persist.u64("flush_cycles", self.persist.flush_cycles);
+        persist.u64("fence_cycles", self.persist.fence_cycles);
+        persist.u64("buffer_evictions", self.persist.buffer_evictions);
+        persist.u64("max_buffer_occupancy", self.persist.max_buffer_occupancy);
+        root.raw("persist", &persist.close());
+
         let mut chaos = JsonObj::new();
         chaos.u64("spurious_aborts", self.chaos.spurious_aborts);
         chaos.u64("forced_evictions", self.chaos.forced_evictions);
         chaos.u64("injected_nacks", self.chaos.injected_nacks);
         chaos.u64("ufo_set_retries", self.chaos.ufo_set_retries);
         chaos.u64("swap_thrashes", self.chaos.swap_thrashes);
+        chaos.u64("power_fails", self.chaos.power_fails);
         root.raw("chaos", &chaos.close());
 
         let mut trace = JsonObj::new();
@@ -414,7 +448,10 @@ impl RunReport {
 
 /// Bumped whenever a field is added, removed or renamed; consumers key
 /// off it. Documented in `docs/RUN_REPORT.md`.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: `persist` section, `chaos.power_fails`, and the five USTM
+/// durability counters (`redo_records` through `torn_records`).
+pub const SCHEMA_VERSION: u64 = 2;
 
 fn json_u64_array(values: &[u64]) -> String {
     let mut out = String::from("[");

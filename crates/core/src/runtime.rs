@@ -185,22 +185,31 @@ impl TmThread {
             let out = body(&mut tx, ctx);
             let bk = tx.into_bookkeeping();
             match out {
-                Ok(r) => match self.ustm.commit(ctx) {
-                    Ok(()) => {
-                        apply_frees(ctx, &bk.frees);
-                        ctx.with(|w| w.shared.tm().stats.sw_commits += 1);
-                        trace(ctx, TraceKind::SwCommit);
-                        bk.run_deferred();
-                        return r;
+                Ok(r) => {
+                    let fences_before = ctx.with(|w| w.machine.persist_stats().fences);
+                    match self.ustm.commit(ctx) {
+                        Ok(()) => {
+                            apply_frees(ctx, &bk.frees);
+                            ctx.with(|w| w.shared.tm().stats.sw_commits += 1);
+                            // A persistent commit fenced its redo record
+                            // durable before releasing ownership; journal the
+                            // fence so the auditor can check the ordering.
+                            if ctx.with(|w| w.machine.persist_stats().fences) > fences_before {
+                                trace(ctx, TraceKind::PersistFence);
+                            }
+                            trace(ctx, TraceKind::SwCommit);
+                            bk.run_deferred();
+                            return r;
+                        }
+                        Err(UstmAbort::Killed { .. }) => {
+                            undo_allocs(ctx, &bk.allocs);
+                            trace(ctx, TraceKind::SwAbort);
+                            self.ustm.wait_for_killer(ctx);
+                            kills += 1;
+                        }
+                        Err(other) => unreachable!("commit produced {other:?}"),
                     }
-                    Err(UstmAbort::Killed { .. }) => {
-                        undo_allocs(ctx, &bk.allocs);
-                        trace(ctx, TraceKind::SwAbort);
-                        self.ustm.wait_for_killer(ctx);
-                        kills += 1;
-                    }
-                    Err(other) => unreachable!("commit produced {other:?}"),
-                },
+                }
                 Err(TxAbort::Stm(UstmAbort::Killed { .. })) => {
                     undo_allocs(ctx, &bk.allocs);
                     trace(ctx, TraceKind::SwAbort);

@@ -206,13 +206,28 @@ pub struct TmSharedLayout {
     pub heap_base: Addr,
     /// Heap size in words.
     pub heap_words: u64,
+    /// Whether the machine has a persistence domain: USTM then carves out
+    /// per-CPU durable redo windows after its undo logs, and software
+    /// commits fence a redo record before releasing ownership.
+    pub durable: bool,
 }
 
 impl TmSharedLayout {
-    /// Words of metadata needed for `cpus` CPUs with the given table sizes.
+    /// Words of metadata needed for `cpus` CPUs with the given table sizes
+    /// (`durable` adds USTM's per-CPU redo windows).
     #[must_use]
-    pub fn required_meta_words(cpus: usize, otable_bins: u64, tl2_locks: u64) -> u64 {
-        UstmShared::required_words(cpus, otable_bins)
+    pub fn required_meta_words(
+        cpus: usize,
+        otable_bins: u64,
+        tl2_locks: u64,
+        durable: bool,
+    ) -> u64 {
+        let ustm_words = if durable {
+            UstmShared::required_words_durable(cpus, otable_bins)
+        } else {
+            UstmShared::required_words(cpus, otable_bins)
+        };
+        ustm_words
             + Tl2Shared::required_words(tl2_locks)
             + 8  // global lock line
             + 16 // PhTM counters (two lines)
@@ -230,7 +245,8 @@ impl TmSharedLayout {
     pub fn standard(cfg: &MachineConfig) -> Self {
         let otable_bins = 16 * 1024;
         let tl2_locks = 16 * 1024;
-        let meta_words = Self::required_meta_words(cfg.cpus, otable_bins, tl2_locks);
+        let durable = cfg.persist.is_some();
+        let meta_words = Self::required_meta_words(cfg.cpus, otable_bins, tl2_locks, durable);
         let total = cfg.memory_words;
         assert!(
             total > meta_words + (1 << 17),
@@ -244,6 +260,7 @@ impl TmSharedLayout {
             tl2_locks,
             heap_base: Addr::from_word_index(heap_base_word),
             heap_words: meta_base_word - heap_base_word,
+            durable,
         }
     }
 }
@@ -308,7 +325,11 @@ impl TmShared {
             UstmConfig::weak()
         };
         let ustm_base = layout.meta_base;
-        let ustm_words = UstmShared::required_words(cpus, layout.otable_bins);
+        let ustm_words = if layout.durable {
+            UstmShared::required_words_durable(cpus, layout.otable_bins)
+        } else {
+            UstmShared::required_words(cpus, layout.otable_bins)
+        };
         let tl2_base = Addr(ustm_base.0 + ustm_words * 8);
         let tl2_words = Tl2Shared::required_words(layout.tl2_locks);
         let lock_base = Addr(tl2_base.0 + tl2_words * 8);
@@ -375,8 +396,30 @@ mod tests {
         let heap_end = layout.heap_base.0 + layout.heap_words * 8;
         assert!(heap_end <= layout.meta_base.0);
         let meta_end = layout.meta_base.word_index()
-            + TmSharedLayout::required_meta_words(8, layout.otable_bins, layout.tl2_locks);
+            + TmSharedLayout::required_meta_words(
+                8,
+                layout.otable_bins,
+                layout.tl2_locks,
+                layout.durable,
+            );
         assert!(meta_end <= cfg.memory_words);
+    }
+
+    #[test]
+    fn durable_layout_reserves_the_redo_windows() {
+        let volatile = MachineConfig::table4(4);
+        let mut durable = MachineConfig::table4(4);
+        durable.persist = Some(ufotm_machine::PersistConfig::default());
+        let lv = TmSharedLayout::standard(&volatile);
+        let ld = TmSharedLayout::standard(&durable);
+        assert!(!lv.durable);
+        assert!(ld.durable);
+        // The durable layout is strictly larger: 512 words per CPU of redo
+        // window between the undo logs and the TL2 lock table.
+        assert_eq!(
+            lv.meta_base.word_index() - ld.meta_base.word_index(),
+            4 * 512
+        );
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Crash-recovery torture: power-fail at cycle N, reboot, recover, audit.
+//!
+//! Every cell of the sweep — seed × fail-point × workload — runs a
+//! persistent USTM workload under a fault plan that latches a power
+//! failure at a deterministic cycle, then reconstructs the crash:
+//!
+//! 1. the pre-crash journal is cut out of the trace ([`crashed_journal`]),
+//! 2. a fresh machine gets the durable image ([`Machine::install_image`])
+//!    and a fresh shared state the crashed run's layout,
+//! 3. [`recover_world`] replays the durable redo windows — twice, to prove
+//!    recovery idempotent on the live image,
+//! 4. the combined crash-plus-recovery journal must satisfy every
+//!    durability invariant ([`audit_events_durable`]), and the recovered
+//!    heap must be transactionally consistent (all-or-nothing per commit),
+//! 5. the run is repeated from the same seed and must latch a bit-identical
+//!    durable image and pre-crash journal.
+//!
+//! A failing seed prints as `CHAOS_SEED=<n>`; `CHAOS_SEEDS=<k>` shrinks
+//! the sweep for smoke runs.
+
+use ufotm_core::{
+    audit_events_durable, crashed_journal, recover_world, HybridPolicy, RunReport, SystemKind,
+    TmShared, TmThread,
+};
+use ufotm_machine::{Addr, CrashImage, FaultPlan, Machine, MachineConfig, PersistConfig};
+use ufotm_sim::{for_each_seed, seed_count, Ctx, Sim, SimResult, ThreadFn};
+
+const COUNTER: Addr = Addr(0);
+const CPUS: usize = 3;
+const TXNS: u64 = 6;
+
+/// Each committed transaction leaves `slot(cpu) == shadow(cpu)` (distinct
+/// cache lines): a torn commit would break the equality.
+fn slot(cpu: usize) -> Addr {
+    Addr(4096 + cpu as u64 * 256)
+}
+
+fn shadow(cpu: usize) -> Addr {
+    Addr(16384 + cpu as u64 * 256)
+}
+
+/// Eight-line stripe for the wide workload (all words must stay equal).
+fn wide(cpu: usize) -> Addr {
+    Addr(65536 + cpu as u64 * 4096)
+}
+
+const WIDE_LINES: u64 = 8;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Workload {
+    /// Contended: every transaction bumps a shared counter plus its own
+    /// slot/shadow pair (conflicts, kills, multi-record recovery).
+    SharedCounter,
+    /// Disjoint: private pairs only (pure commit-protocol coverage).
+    PrivatePairs,
+    /// Disjoint, wide: eight lines per commit, so the redo record (ten
+    /// lines) overflows the persist buffer — evictions make durable
+    /// *prefixes*, the source of torn records.
+    WideLines,
+}
+
+fn crash_config(fail_at: u64, seed: u64) -> MachineConfig {
+    let mut cfg = MachineConfig::table4(CPUS);
+    cfg.memory_words = 1 << 19;
+    cfg.persist = Some(PersistConfig::default());
+    // A mixed fault background makes the seed dimension real (injected
+    // UFO-set retries and nacks shift every cell's timing); the fail-point
+    // itself stays deterministic and never consults the injection PRNG.
+    let mut plan = FaultPlan::mixed(seed);
+    plan.power_fail_at = Some(fail_at);
+    cfg.fault_plan = Some(plan);
+    cfg
+}
+
+/// Runs the workload to completion (ghost execution continues past the
+/// latch — the machine keeps the crash image on the side).
+fn run_to_crash(cfg: &MachineConfig, workload: Workload) -> SimResult<TmShared> {
+    let machine = Machine::new(cfg.clone());
+    let mut shared = TmShared::standard(SystemKind::UstmStrong, cfg);
+    shared.trace.enable(1 << 16);
+    Sim::new(machine, shared).run(
+        (0..CPUS)
+            .map(|cpu| -> ThreadFn<TmShared> {
+                Box::new(move |ctx: &mut Ctx<TmShared>| {
+                    // No watchdog: a serial-irrevocable escalation would
+                    // commit without a redo record (serial-path durability
+                    // is out of scope), and USTM's age-ordered kills
+                    // guarantee progress on their own.
+                    let mut t =
+                        TmThread::with_policy(SystemKind::UstmStrong, cpu, HybridPolicy::default());
+                    t.install(ctx);
+                    for _ in 0..TXNS {
+                        t.transaction(ctx, |tx, ctx| match workload {
+                            Workload::SharedCounter | Workload::PrivatePairs => {
+                                let s = tx.read(ctx, slot(cpu))?;
+                                tx.work(ctx, 60)?;
+                                tx.write(ctx, slot(cpu), s + 1)?;
+                                tx.write(ctx, shadow(cpu), s + 1)?;
+                                if workload == Workload::SharedCounter {
+                                    let v = tx.read(ctx, COUNTER)?;
+                                    tx.write(ctx, COUNTER, v + 1)?;
+                                }
+                                Ok(())
+                            }
+                            Workload::WideLines => {
+                                let base = wide(cpu);
+                                let v = tx.read(ctx, base)?;
+                                tx.work(ctx, 40)?;
+                                for k in 0..WIDE_LINES {
+                                    tx.write(ctx, base.add_words(k * 8), v + 1)?;
+                                }
+                                Ok(())
+                            }
+                        });
+                    }
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Boots a fresh machine from the durable image with a fresh shared state
+/// (software state does not survive a crash). Recovery is not subject to
+/// the crashed run's fault schedule.
+fn reboot(cfg: &MachineConfig, crash: &CrashImage) -> (Machine, TmShared) {
+    let mut cfg2 = cfg.clone();
+    cfg2.fault_plan = None;
+    let mut m = Machine::new(cfg2.clone());
+    m.install_image(crash.words());
+    let shared = TmShared::standard(SystemKind::UstmStrong, &cfg2);
+    (m, shared)
+}
+
+/// The durable heap state the assertions compare: counter plus every
+/// slot/shadow pair.
+fn heap_snapshot(m: &Machine) -> Vec<u64> {
+    let mut out = vec![m.peek(COUNTER)];
+    for cpu in 0..CPUS {
+        out.push(m.peek(slot(cpu)));
+        out.push(m.peek(shadow(cpu)));
+        for k in 0..WIDE_LINES {
+            out.push(m.peek(wide(cpu).add_words(k * 8)));
+        }
+    }
+    out
+}
+
+/// One full crash/recover/audit cell. Returns whether the fail-point
+/// actually landed before the run finished.
+fn crash_recover_audit(fail_at: u64, seed: u64, workload: Workload, label: &str) -> bool {
+    let cfg = crash_config(fail_at, seed);
+    let r = run_to_crash(&cfg, workload);
+    let Some(crash) = r.machine.crash_image().cloned() else {
+        return false; // run finished before the fail-point
+    };
+
+    // Reboot and recover — twice: recovery must be a pure, repeatable
+    // function of the durable image.
+    let mut journal = crashed_journal(&r.shared.trace, &crash);
+    let (mut m2, mut shared2) = reboot(&cfg, &crash);
+    let rec1 = recover_world(&mut m2, &mut shared2, &mut journal);
+    let after_first = heap_snapshot(&m2);
+    let rec2 = recover_world(&mut m2, &mut shared2, &mut journal);
+    if std::env::var("UFOTM_CRASH_DEBUG").is_ok() {
+        eprintln!(
+            "{label}: replayed={} torn={}",
+            rec1.iter().map(|x| x.replayed_records).sum::<u64>(),
+            rec1.iter().filter(|x| x.torn).count()
+        );
+    }
+    for (a, b) in rec1.iter().zip(rec2.iter()) {
+        assert_eq!(
+            (a.replayed_records, a.replayed_lines, a.torn),
+            (b.replayed_records, b.replayed_lines, b.torn),
+            "{label}: recovery not idempotent on cpu {}",
+            a.cpu
+        );
+    }
+    assert_eq!(
+        after_first,
+        heap_snapshot(&m2),
+        "{label}: second recovery pass changed the heap"
+    );
+
+    // The combined crash-plus-recovery journal satisfies every durability
+    // invariant: fences before commits, no resurrected transactions,
+    // idempotent replay.
+    let audit = audit_events_durable(&journal, r.shared.trace.truncated());
+    assert!(
+        audit.is_clean(),
+        "{label}: audit found {} violation(s), e.g. {}",
+        audit.violations.len(),
+        audit.violations[0],
+    );
+
+    // Transactional consistency of the durable heap: commits are
+    // all-or-nothing, so every group a transaction writes together is
+    // still mutually equal and nothing overshoots.
+    match workload {
+        Workload::SharedCounter | Workload::PrivatePairs => {
+            for cpu in 0..CPUS {
+                let s = m2.peek(slot(cpu));
+                assert_eq!(
+                    s,
+                    m2.peek(shadow(cpu)),
+                    "{label}: cpu {cpu} pair torn after recovery"
+                );
+                assert!(s <= TXNS, "{label}: cpu {cpu} slot overshot");
+            }
+            if workload == Workload::SharedCounter {
+                assert!(
+                    m2.peek(COUNTER) <= CPUS as u64 * TXNS,
+                    "{label}: counter overshot"
+                );
+            }
+        }
+        Workload::WideLines => {
+            for cpu in 0..CPUS {
+                let v = m2.peek(wide(cpu));
+                for k in 1..WIDE_LINES {
+                    assert_eq!(
+                        v,
+                        m2.peek(wide(cpu).add_words(k * 8)),
+                        "{label}: cpu {cpu} stripe torn at line {k} after recovery"
+                    );
+                }
+                assert!(v <= TXNS, "{label}: cpu {cpu} stripe overshot");
+            }
+        }
+    }
+
+    // Determinism: the same seed latches a bit-identical durable image and
+    // journals a bit-identical pre-crash prefix.
+    let r2 = run_to_crash(&cfg, workload);
+    let crash2 = r2.machine.crash_image().cloned().expect("replay crashed");
+    assert_eq!(crash.cycle(), crash2.cycle(), "{label}: crash cycle");
+    assert_eq!(crash.cpu(), crash2.cpu(), "{label}: crash cpu");
+    assert!(
+        crash.words() == crash2.words(),
+        "{label}: durable image diverged across replays"
+    );
+    assert_eq!(
+        crashed_journal(&r2.shared.trace, &crash2),
+        crashed_journal(&r.shared.trace, &crash),
+        "{label}: pre-crash journal diverged across replays"
+    );
+    true
+}
+
+/// The sweep: seeds × fail-points × workloads. Fail-points span the run —
+/// early (mid first transactions), middle, and late; a cell whose run
+/// finishes before its fail-point still checks that the sweep as a whole
+/// crashed somewhere.
+#[test]
+fn power_fail_sweep_recovers_consistently() {
+    let seeds = seed_count(8);
+    let mut crashed_cells = 0u64;
+    for workload in [
+        Workload::SharedCounter,
+        Workload::PrivatePairs,
+        Workload::WideLines,
+    ] {
+        for fail_at in [1_000, 8_000, 30_000, 90_000] {
+            for_each_seed(0, seeds, |seed| {
+                let label = format!("{workload:?}/fail@{fail_at}/seed {seed}");
+                if crash_recover_audit(fail_at, seed, workload, &label) {
+                    crashed_cells += 1;
+                }
+            });
+        }
+    }
+    assert!(
+        crashed_cells > 0,
+        "no cell crashed: fail-points all landed past the makespan"
+    );
+}
+
+/// A run whose fail-point lands past the makespan never latches: the
+/// persistent machine completes normally, every commit fenced its redo
+/// record, and the full journal passes the durable audit.
+#[test]
+fn uncrashed_persistent_run_is_durably_clean() {
+    let cfg = crash_config(u64::MAX, 7);
+    let r = run_to_crash(&cfg, Workload::SharedCounter);
+    assert!(r.machine.crash_image().is_none());
+    assert_eq!(r.machine.peek(COUNTER), CPUS as u64 * TXNS);
+    let report = RunReport::collect(7, &r.machine, &r.shared);
+    report.assert_audit_clean();
+    assert_eq!(report.ustm.redo_records, CPUS as u64 * TXNS);
+    assert!(report.persist.fences >= 3 * CPUS as u64 * TXNS);
+
+    // CI artifact: with UFOTM_REPORT_DIR set, emit one crashed cell's full
+    // report (the crash-torture job uploads it — see
+    // .github/workflows/ci.yml).
+    if let Ok(dir) = std::env::var("UFOTM_REPORT_DIR") {
+        let cfg = crash_config(8_000, 7);
+        let crashed = run_to_crash(&cfg, Workload::SharedCounter);
+        let report = RunReport::collect(7, &crashed.machine, &crashed.shared);
+        std::fs::create_dir_all(&dir).expect("report dir");
+        std::fs::write(
+            std::path::Path::new(&dir).join("BENCH_crash_recovery.json"),
+            report.to_json(),
+        )
+        .expect("write crash recovery report");
+    }
+}

@@ -46,12 +46,19 @@ pub enum ChaosFaultKind {
     /// transaction this surfaces as a
     /// [`AbortReason::PageFault`](crate::AbortReason::PageFault) abort.
     SwapThrash,
+    /// Power is lost at an instruction boundary: the durable image (fenced
+    /// lines only) is latched as a
+    /// [`CrashImage`](crate::CrashImage) and everything volatile is
+    /// considered gone. Only injected on machines with a persistence domain,
+    /// and at most once per run (the first failure is the one that counts —
+    /// the remainder of the run is ghost execution harnesses ignore).
+    PowerFail,
 }
 
 impl ChaosFaultKind {
     /// All kinds, in a stable order (for stats tables).
     #[must_use]
-    pub const fn all() -> [ChaosFaultKind; 5] {
+    pub const fn all() -> [ChaosFaultKind; 6] {
         use ChaosFaultKind::*;
         [
             SpuriousAbort,
@@ -59,6 +66,7 @@ impl ChaosFaultKind {
             CoherenceNack,
             UfoSetRetry,
             SwapThrash,
+            PowerFail,
         ]
     }
 }
@@ -71,6 +79,7 @@ impl fmt::Display for ChaosFaultKind {
             ChaosFaultKind::CoherenceNack => "coherence-nack",
             ChaosFaultKind::UfoSetRetry => "ufo-set-retry",
             ChaosFaultKind::SwapThrash => "swap-thrash",
+            ChaosFaultKind::PowerFail => "power-fail",
         };
         f.write_str(s)
     }
@@ -99,6 +108,16 @@ pub struct FaultPlan {
     /// Probability a resident-page touch thrashes (page is reclaimed and
     /// must re-fault). Only meaningful when paging is enabled.
     pub swap_thrash: f64,
+    /// Probability power is lost at an instruction boundary. Only meaningful
+    /// on machines with a persistence domain; at most one failure latches
+    /// per run.
+    pub power_fail: f64,
+    /// Deterministic power failure: latch at the first instruction boundary
+    /// at which the issuing CPU's clock reaches this cycle. Independent of
+    /// the probabilistic `power_fail` rate and of the injection PRNG, so a
+    /// fail-point sweep never perturbs the fault schedule of the other
+    /// kinds.
+    pub power_fail_at: Option<u64>,
     /// Extra delay (cycles) per responding cache charged by an injected
     /// nack, on top of the cost model's `nack_retry`.
     pub nack_delay: u64,
@@ -119,6 +138,8 @@ impl FaultPlan {
             coherence_nack: 0.0,
             ufo_set_failure: 0.0,
             swap_thrash: 0.0,
+            power_fail: 0.0,
+            power_fail_at: None,
             nack_delay: 0,
             ufo_retry_cycles: 0,
         }
@@ -171,6 +192,29 @@ impl FaultPlan {
             ChaosFaultKind::CoherenceNack => self.coherence_nack,
             ChaosFaultKind::UfoSetRetry => self.ufo_set_failure,
             ChaosFaultKind::SwapThrash => self.swap_thrash,
+            ChaosFaultKind::PowerFail => self.power_fail,
+        }
+    }
+
+    /// Checks every injection rate is a probability.
+    ///
+    /// The preset constructors are `const fn` and cannot examine floats, so
+    /// a hand-built plan could otherwise smuggle a NaN or out-of-range rate
+    /// into the injection PRNG, where it would silently skew (or panic deep
+    /// inside) every roll. [`Machine::new`] and
+    /// [`MachineConfig::with_fault_plan`](crate::MachineConfig::with_fault_plan)
+    /// call this, so a bad plan fails fast with the offending field named.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is NaN, infinite, or outside `[0, 1]`.
+    pub fn validate(&self) {
+        for kind in ChaosFaultKind::all() {
+            let rate = self.rate(kind);
+            assert!(
+                rate.is_finite() && (0.0..=1.0).contains(&rate),
+                "FaultPlan {kind} rate must be a probability in [0, 1], got {rate}"
+            );
         }
     }
 }
@@ -199,6 +243,8 @@ pub struct ChaosStats {
     pub ufo_set_retries: u64,
     /// Swap-thrash reclaims injected.
     pub swap_thrashes: u64,
+    /// Power failures latched (at most one per run).
+    pub power_fails: u64,
 }
 
 impl ChaosStats {
@@ -210,6 +256,7 @@ impl ChaosStats {
             + self.injected_nacks
             + self.ufo_set_retries
             + self.swap_thrashes
+            + self.power_fails
     }
 
     /// Adds another machine's injection counters into this one.
@@ -223,12 +270,14 @@ impl ChaosStats {
             injected_nacks,
             ufo_set_retries,
             swap_thrashes,
+            power_fails,
         } = other;
         self.spurious_aborts += spurious_aborts;
         self.forced_evictions += forced_evictions;
         self.injected_nacks += injected_nacks;
         self.ufo_set_retries += ufo_set_retries;
         self.swap_thrashes += swap_thrashes;
+        self.power_fails += power_fails;
     }
 
     fn bump(&mut self, kind: ChaosFaultKind) {
@@ -238,6 +287,7 @@ impl ChaosStats {
             ChaosFaultKind::CoherenceNack => &mut self.injected_nacks,
             ChaosFaultKind::UfoSetRetry => &mut self.ufo_set_retries,
             ChaosFaultKind::SwapThrash => &mut self.swap_thrashes,
+            ChaosFaultKind::PowerFail => &mut self.power_fails,
         };
         *c += 1;
     }
@@ -490,5 +540,45 @@ mod tests {
         assert!(FaultPlan::mixed(0).rate(ChaosFaultKind::SpuriousAbort) > 0.0);
         assert!(FaultPlan::abort_storm(0).spurious_abort > FaultPlan::mixed(0).spurious_abort);
         assert!(FaultPlan::nack_storm(0).coherence_nack > FaultPlan::mixed(0).coherence_nack);
+    }
+
+    #[test]
+    fn preset_plans_validate() {
+        for plan in [
+            FaultPlan::quiet(1),
+            FaultPlan::mixed(1),
+            FaultPlan::abort_storm(1),
+            FaultPlan::nack_storm(1),
+        ] {
+            plan.validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spurious-abort rate must be a probability")]
+    fn nan_rate_is_rejected_at_construction() {
+        let mut plan = FaultPlan::quiet(1);
+        plan.spurious_abort = f64::NAN;
+        let _ = Machine::new(MachineConfig::small(1).with_fault_plan(plan));
+    }
+
+    #[test]
+    #[should_panic(expected = "coherence-nack rate must be a probability")]
+    fn out_of_range_rate_is_rejected_at_construction() {
+        let mut plan = FaultPlan::quiet(1);
+        plan.coherence_nack = 1.5;
+        let _ = Machine::new(MachineConfig::small(1).with_fault_plan(plan));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-fail rate must be a probability")]
+    fn negative_rate_is_rejected_by_machine_new() {
+        // A literal-built config bypasses with_fault_plan; Machine::new is
+        // the backstop.
+        let mut plan = FaultPlan::quiet(1);
+        plan.power_fail = -0.25;
+        let mut cfg = MachineConfig::small(1);
+        cfg.fault_plan = Some(plan);
+        let _ = Machine::new(cfg);
     }
 }

@@ -38,7 +38,7 @@ fn same_seed_reports_are_byte_identical() {
     );
     assert!(a.report.hybrid.hw_commits > 0, "hardware commits happened");
     assert!(a.report.hybrid.sw_commits > 0, "failovers reached software");
-    assert!(ja.starts_with("{\"schema\":1,"), "schema field leads");
+    assert!(ja.starts_with("{\"schema\":2,"), "schema field leads");
     // Commit-path breakdown from the journal agrees with driver counters.
     let paths = &a.report.trace.commit_paths;
     assert_eq!(paths["hw"], a.report.hybrid.hw_commits);
@@ -109,6 +109,75 @@ fn quantum_50_traced_run_satisfies_the_auditor() {
         a.report.to_json(),
         b.report.to_json(),
         "quantum 50: reports byte-identical across handoff modes"
+    );
+}
+
+#[test]
+fn same_seed_crash_and_recovery_reports_are_byte_identical() {
+    // The crash-recovery pipeline end to end, twice from one seed: the
+    // crashed run's report, the latched durable image, the pre-crash
+    // journal, and the recovered world's report must all replay exactly.
+    use ufotm_core::{crashed_journal, recover_world, HybridPolicy, RunReport, TmShared, TmThread};
+    use ufotm_machine::{Addr, FaultPlan, Machine, MachineConfig, PersistConfig};
+    use ufotm_sim::{Ctx, Sim, ThreadFn};
+
+    let run_once = || {
+        let mut cfg = MachineConfig::table4(2);
+        cfg.memory_words = 1 << 19;
+        cfg.persist = Some(PersistConfig::default());
+        let mut plan = FaultPlan::mixed(0x5EED);
+        plan.power_fail_at = Some(6_000);
+        cfg.fault_plan = Some(plan);
+        let machine = Machine::new(cfg.clone());
+        let mut shared = TmShared::standard(SystemKind::UstmStrong, &cfg);
+        shared.trace.enable(1 << 14);
+        let r = Sim::new(machine, shared).run(
+            (0..2)
+                .map(|cpu| -> ThreadFn<TmShared> {
+                    Box::new(move |ctx: &mut Ctx<TmShared>| {
+                        let mut t = TmThread::with_policy(
+                            SystemKind::UstmStrong,
+                            cpu,
+                            HybridPolicy::default(),
+                        );
+                        t.install(ctx);
+                        let a = Addr(4096 + cpu as u64 * 256);
+                        for _ in 0..6 {
+                            t.transaction(ctx, |tx, ctx| {
+                                let v = tx.read(ctx, a)?;
+                                tx.work(ctx, 50)?;
+                                tx.write(ctx, a, v + 1)
+                            });
+                        }
+                    })
+                })
+                .collect(),
+        );
+        let crash = r.machine.crash_image().expect("fail-point landed").clone();
+        let journal = crashed_journal(&r.shared.trace, &crash);
+        let mut cfg2 = cfg.clone();
+        cfg2.fault_plan = None;
+        let mut m2 = Machine::new(cfg2.clone());
+        m2.install_image(crash.words());
+        let mut shared2 = TmShared::standard(SystemKind::UstmStrong, &cfg2);
+        let mut recovered_journal = journal.clone();
+        recover_world(&mut m2, &mut shared2, &mut recovered_journal);
+        (
+            RunReport::collect(0x5EED, &r.machine, &r.shared).to_json(),
+            crash.words().to_vec(),
+            journal,
+            RunReport::collect(0x5EED, &m2, &shared2).to_json(),
+        )
+    };
+    let (crashed_a, image_a, journal_a, recovered_a) = run_once();
+    let (crashed_b, image_b, journal_b, recovered_b) = run_once();
+    assert_eq!(crashed_a, crashed_b, "crashed-run report");
+    assert!(image_a == image_b, "durable image");
+    assert_eq!(journal_a, journal_b, "pre-crash journal");
+    assert_eq!(recovered_a, recovered_b, "recovered-world report");
+    assert!(
+        crashed_a.contains("\"power_fails\":1"),
+        "the crash must show up in the chaos counters"
     );
 }
 

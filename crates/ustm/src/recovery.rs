@@ -1,0 +1,409 @@
+//! Durable redo logging and crash recovery for USTM on a persistent machine.
+//!
+//! USTM is eager-versioning: transactional stores land in place, with a
+//! volatile undo log for aborts. On a machine with a persistence domain
+//! that is not crash-safe by itself — a power failure discards everything
+//! that was never flushed *and* fenced, so a committed transaction's writes
+//! can be lost, or (worse) an arbitrary subset of them can be durable while
+//! the rest are not.
+//!
+//! The redo protocol makes commits crash-consistent. Each CPU owns a fixed
+//! durable *redo window* ([`UstmShared::redo_addr`]) holding at most one
+//! record:
+//!
+//! ```text
+//! word 0            REDO_HEADER ^ seq
+//! word 1            count (number of line records)
+//! word 2            applied flag (0 = replayable, 1 = neutralized)
+//! words 3 + 9i ..   line record i: base address, then the 8 post-image words
+//! word 3 + 9·count  REDO_TRAILER ^ seq
+//! ```
+//!
+//! At commit, after the serialization point but before any ownership is
+//! released, the committer:
+//!
+//! 1. writes the record (post-images of its write set) into its window,
+//!    flushes the window's lines **in ascending order**, and fences — the
+//!    fence is the durable commit point;
+//! 2. flushes the in-place data lines themselves and fences;
+//! 3. stores `applied = 1` in the header line, flushes it, and fences,
+//!    neutralizing the window so recovery will not replay a record whose
+//!    effects (and possibly *later* commits to the same lines) are already
+//!    durable — replaying such a stale record would regress newer state.
+//!
+//! Torn records are detected structurally. The persist buffer drains
+//! oldest-first, so the durable image always holds a *prefix* of the flush
+//! sequence; flushing window lines in ascending order puts the trailer in
+//! the last line, so a durable valid trailer implies the whole record is
+//! durable. Header and trailer are magic values XORed with the
+//! transaction's sequence number, so a new header over a stale trailer (or
+//! vice versa) never validates.
+//!
+//! [`UstmShared::recover`] is a *pure replay*: it applies every valid,
+//! unapplied record (writing the post-images back and making them durable)
+//! but never sets the applied flag itself. Replaying the same post-images
+//! is naturally idempotent, so recovering twice equals recovering once —
+//! an invariant the trace auditor checks.
+
+use ufotm_machine::{Addr, LineAddr, Machine, LINE_WORDS};
+
+use crate::barrier::mop;
+use crate::txn::UstmShared;
+
+/// Magic for redo-record headers (XORed with the commit sequence number).
+const REDO_HEADER: u64 = 0x5EED_0B5E_55A1_D001;
+/// Magic for redo-record trailers (XORed with the commit sequence number).
+const REDO_TRAILER: u64 = 0x5EED_0B5E_55A1_D002;
+
+/// Words per line record: the line's base address plus its 8 data words.
+const LINE_RECORD_WORDS: u64 = 1 + LINE_WORDS;
+
+/// Most lines one durable commit may write (window size minus header,
+/// applied flag, and trailer, divided per line record).
+pub const REDO_MAX_LINES: u64 = (UstmShared::REDO_WORDS_PER_CPU - 4) / LINE_RECORD_WORDS;
+
+/// Per-CPU outcome of one [`UstmShared::recover`] scan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CpuRecovery {
+    /// The CPU whose redo window was scanned.
+    pub cpu: usize,
+    /// Records replayed from this window (0 or 1: one window, one record).
+    pub replayed_records: u64,
+    /// Data lines rewritten by the replay.
+    pub replayed_lines: u64,
+    /// Whether the window held a torn (partially durable) record, dropped.
+    pub torn: bool,
+}
+
+/// What a redo window parses to, host-side.
+enum Window {
+    /// All-zero header: never used this run.
+    Empty,
+    /// Structurally valid record, not yet neutralized.
+    Replayable { count: u64 },
+    /// Structurally valid record whose effects are already durable.
+    Applied,
+    /// Non-empty but fails validation: torn by the crash, dropped.
+    Torn,
+}
+
+fn parse_window(m: &Machine, u: &UstmShared, cpu: usize) -> Window {
+    let header = m.peek(u.redo_addr(cpu, 0));
+    if header == 0 {
+        return Window::Empty;
+    }
+    let seq = header ^ REDO_HEADER;
+    let count = m.peek(u.redo_addr(cpu, 1));
+    if count == 0 || count > REDO_MAX_LINES {
+        return Window::Torn;
+    }
+    let trailer = m.peek(u.redo_addr(cpu, 3 + count * LINE_RECORD_WORDS));
+    if trailer ^ REDO_TRAILER != seq {
+        return Window::Torn;
+    }
+    if m.peek(u.redo_addr(cpu, 2)) == 1 {
+        Window::Applied
+    } else {
+        Window::Replayable { count }
+    }
+}
+
+/// Commit-time durability: called by [`UstmTxn::commit`](crate::UstmTxn)
+/// between the serialization point and ownership release, only when the
+/// machine has a persistence domain.
+///
+/// # Panics
+///
+/// Panics if the write set exceeds [`REDO_MAX_LINES`] (the redo window is a
+/// fixed reservation; split the transaction).
+pub(crate) fn redo_commit(
+    m: &mut Machine,
+    u: &mut UstmShared,
+    cpu: usize,
+    seq: u64,
+    write_lines: &[LineAddr],
+) {
+    if write_lines.is_empty() {
+        // Read-only commit: nothing to make durable, but fence anyway so
+        // every durable commit observably follows a fence (the auditor's
+        // commit-follows-fence rule stays uniform).
+        mop(m.persist_fence(cpu));
+        return;
+    }
+    let count = write_lines.len() as u64;
+    assert!(
+        count <= REDO_MAX_LINES,
+        "redo window overflow: transaction wrote {count} lines, window holds {REDO_MAX_LINES}"
+    );
+    // Build the record host-side from the in-place post-images, then store
+    // it through the machine so the log writes cost real traffic.
+    let mut words: Vec<u64> = Vec::with_capacity((3 + count * LINE_RECORD_WORDS + 1) as usize);
+    words.push(REDO_HEADER ^ seq);
+    words.push(count);
+    words.push(0); // applied flag
+    for &line in write_lines {
+        words.push(line.base_addr().0);
+        for i in 0..LINE_WORDS {
+            words.push(m.peek(line.base_addr().add_words(i)));
+        }
+    }
+    words.push(REDO_TRAILER ^ seq);
+    for (n, &v) in words.iter().enumerate() {
+        mop(m.store(cpu, u.redo_addr(cpu, n as u64), v));
+    }
+    // Flush the window's lines in ascending order — the trailer lands in
+    // the last line, so the persist buffer's oldest-first drain order makes
+    // "durable trailer ⇒ whole record durable" hold — then fence. This
+    // fence is the durable commit point.
+    let touched_lines = (words.len() as u64).div_ceil(LINE_WORDS);
+    for l in 0..touched_lines {
+        mop(m.persist_flush(cpu, u.redo_addr(cpu, l * LINE_WORDS)));
+    }
+    mop(m.persist_fence(cpu));
+    u.stats.redo_records += 1;
+    // Make the in-place post-images durable.
+    for &line in write_lines {
+        mop(m.persist_flush(cpu, line.base_addr()));
+    }
+    mop(m.persist_fence(cpu));
+    // Neutralize the window: once `applied = 1` is durable, recovery skips
+    // this record (replaying it after later commits touched the same lines
+    // would regress durable state).
+    mop(m.store(cpu, u.redo_addr(cpu, 2), 1));
+    mop(m.persist_flush(cpu, u.redo_addr(cpu, 0)));
+    mop(m.persist_fence(cpu));
+}
+
+impl UstmShared {
+    /// Crash recovery: scans every CPU's redo window in the (rebooted)
+    /// machine's memory and replays each valid, unapplied record — writing
+    /// its post-images back in place and making them durable. Torn records
+    /// are dropped; applied records are skipped.
+    ///
+    /// Recovery is a pure replay: it never sets the applied flag, so
+    /// running it again replays the same records to the same values —
+    /// recovering twice equals recovering once.
+    ///
+    /// Call this on a freshly rebooted world (machine restored from a
+    /// [`CrashImage`](ufotm_machine::CrashImage), shared state rebuilt with
+    /// the same layout) before any new transactions run.
+    pub fn recover(&mut self, m: &mut Machine) -> Vec<CpuRecovery> {
+        self.stats.recovery_runs += 1;
+        let mut out = Vec::with_capacity(self.cpus());
+        for cpu in 0..self.cpus() {
+            let mut r = CpuRecovery {
+                cpu,
+                ..CpuRecovery::default()
+            };
+            match parse_window(m, self, cpu) {
+                Window::Empty | Window::Applied => {}
+                Window::Torn => {
+                    r.torn = true;
+                    self.stats.torn_records += 1;
+                }
+                Window::Replayable { count } => {
+                    for i in 0..count {
+                        let rec = 3 + i * LINE_RECORD_WORDS;
+                        let base = Addr(m.peek(self.redo_addr(cpu, rec)));
+                        for w in 0..LINE_WORDS {
+                            let v = m.peek(self.redo_addr(cpu, rec + 1 + w));
+                            mop(m.store(cpu, base.add_words(w), v));
+                        }
+                        mop(m.persist_flush(cpu, base));
+                    }
+                    mop(m.persist_fence(cpu));
+                    r.replayed_records = 1;
+                    r.replayed_lines = count;
+                    self.stats.recovered_records += 1;
+                    self.stats.recovered_lines += count;
+                }
+            }
+            out.push(r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufotm_machine::{MachineConfig, PersistConfig};
+    use ufotm_sim::{Ctx, Sim, ThreadFn};
+
+    use crate::txn::UstmConfig;
+    use crate::UstmTxn;
+
+    const DATA: Addr = Addr(0);
+    const META: Addr = Addr(1 << 20);
+
+    fn persistent_world(cpus: usize) -> (Machine, UstmShared) {
+        let mut mcfg = MachineConfig::table4(cpus);
+        mcfg.persist = Some(PersistConfig::default());
+        let machine = Machine::new(mcfg);
+        let shared = UstmShared::new(UstmConfig::default(), META, cpus, 1024);
+        (machine, shared)
+    }
+
+    fn commit_one_write(machine: Machine, shared: UstmShared) -> ufotm_sim::SimResult<UstmShared> {
+        Sim::new(machine, shared).run(vec![Box::new(|ctx: &mut Ctx<UstmShared>| {
+            let mut txn = UstmTxn::new(0);
+            txn.run(ctx, |t, ctx| t.write(ctx, DATA, 77));
+        }) as ThreadFn<UstmShared>])
+    }
+
+    #[test]
+    fn durable_commit_writes_an_applied_record() {
+        let (machine, shared) = persistent_world(1);
+        let r = commit_one_write(machine, shared);
+        assert_eq!(r.shared.stats.redo_records, 1);
+        // The window parses as a valid, neutralized record.
+        assert!(matches!(
+            parse_window(&r.machine, &r.shared, 0),
+            Window::Applied
+        ));
+        // The data itself is durable.
+        let durable = r.machine.durable_image().unwrap();
+        assert_eq!(durable[DATA.word_index() as usize], 77);
+        // Three fences: redo, data, applied marker.
+        assert_eq!(r.machine.persist_stats().fences, 3);
+    }
+
+    #[test]
+    fn volatile_commit_touches_no_redo_state() {
+        let machine = Machine::new(MachineConfig::table4(1));
+        let shared = UstmShared::new(UstmConfig::default(), META, 1, 1024);
+        let r = commit_one_write(machine, shared);
+        assert_eq!(r.shared.stats.redo_records, 0);
+        assert_eq!(r.machine.peek(r.shared.redo_addr(0, 0)), 0);
+    }
+
+    #[test]
+    fn read_only_durable_commit_still_fences() {
+        let (machine, shared) = persistent_world(1);
+        let r = Sim::new(machine, shared).run(vec![Box::new(|ctx: &mut Ctx<UstmShared>| {
+            let mut txn = UstmTxn::new(0);
+            txn.run(ctx, |t, ctx| t.read(ctx, DATA));
+        }) as ThreadFn<UstmShared>]);
+        assert_eq!(r.shared.stats.redo_records, 0);
+        assert_eq!(r.machine.persist_stats().fences, 1);
+    }
+
+    #[test]
+    fn recovery_replays_an_unapplied_record() {
+        let (mut m, mut u) = persistent_world(1);
+        // Hand-craft a committed-but-unapplied record (as if the crash hit
+        // after the redo fence, before the data made it durable).
+        let seq = 5;
+        m.poke(u.redo_addr(0, 0), REDO_HEADER ^ seq);
+        m.poke(u.redo_addr(0, 1), 1);
+        m.poke(u.redo_addr(0, 2), 0);
+        m.poke(u.redo_addr(0, 3), DATA.0);
+        for w in 0..LINE_WORDS {
+            m.poke(u.redo_addr(0, 4 + w), 900 + w);
+        }
+        m.poke(u.redo_addr(0, 3 + LINE_RECORD_WORDS), REDO_TRAILER ^ seq);
+        let out = u.recover(&mut m);
+        assert_eq!(out[0].replayed_records, 1);
+        assert_eq!(out[0].replayed_lines, 1);
+        assert!(!out[0].torn);
+        let durable = m.durable_image().unwrap();
+        for w in 0..LINE_WORDS {
+            assert_eq!(m.peek(DATA.add_words(w)), 900 + w);
+            assert_eq!(durable[DATA.add_words(w).word_index() as usize], 900 + w);
+        }
+        assert_eq!(u.stats.recovered_records, 1);
+        assert_eq!(u.stats.recovered_lines, 1);
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let (mut m, mut u) = persistent_world(1);
+        let seq = 9;
+        m.poke(u.redo_addr(0, 0), REDO_HEADER ^ seq);
+        m.poke(u.redo_addr(0, 1), 1);
+        m.poke(u.redo_addr(0, 2), 0);
+        m.poke(u.redo_addr(0, 3), DATA.0);
+        for w in 0..LINE_WORDS {
+            m.poke(u.redo_addr(0, 4 + w), 42 + w);
+        }
+        m.poke(u.redo_addr(0, 3 + LINE_RECORD_WORDS), REDO_TRAILER ^ seq);
+        let first = u.recover(&mut m);
+        let image_after_first = m.durable_image().unwrap();
+        let second = u.recover(&mut m);
+        assert_eq!(first, second, "pure replay: twice equals once");
+        assert_eq!(m.durable_image().unwrap(), image_after_first);
+        assert_eq!(u.stats.recovery_runs, 2);
+    }
+
+    #[test]
+    fn torn_record_is_dropped() {
+        let (mut m, mut u) = persistent_world(1);
+        // Header from seq 7 but a stale trailer: structurally torn.
+        m.poke(u.redo_addr(0, 0), REDO_HEADER ^ 7);
+        m.poke(u.redo_addr(0, 1), 1);
+        m.poke(u.redo_addr(0, 3), DATA.0);
+        m.poke(u.redo_addr(0, 3 + LINE_RECORD_WORDS), REDO_TRAILER ^ 6);
+        let out = u.recover(&mut m);
+        assert!(out[0].torn);
+        assert_eq!(out[0].replayed_records, 0);
+        assert_eq!(m.peek(DATA), 0, "torn record must not be applied");
+        assert_eq!(u.stats.torn_records, 1);
+    }
+
+    #[test]
+    fn insane_count_is_torn_not_a_panic() {
+        let (mut m, mut u) = persistent_world(1);
+        m.poke(u.redo_addr(0, 0), REDO_HEADER ^ 3);
+        m.poke(u.redo_addr(0, 1), u64::MAX); // garbage count
+        let out = u.recover(&mut m);
+        assert!(out[0].torn);
+    }
+
+    #[test]
+    fn applied_record_is_skipped() {
+        let (machine, shared) = persistent_world(1);
+        let r = commit_one_write(machine, shared);
+        let (mut m, mut u) = (r.machine, r.shared);
+        // Clean shutdown: the lone record is applied, so recovery is a no-op.
+        let before = m.peek(DATA);
+        let out = u.recover(&mut m);
+        assert_eq!(out[0].replayed_records, 0);
+        assert!(!out[0].torn);
+        assert_eq!(m.peek(DATA), before);
+        assert_eq!(u.stats.recovered_records, 0);
+    }
+
+    #[test]
+    fn crash_between_redo_fence_and_data_fence_recovers_the_commit() {
+        // Run once to learn the cycle of the redo fence, then re-run with a
+        // power failure planted right after it: the redo record is durable
+        // but the data is not, and recovery must finish the job.
+        let (machine, shared) = persistent_world(1);
+        let clean = commit_one_write(machine, shared);
+        assert_eq!(clean.machine.persist_stats().fences, 3);
+
+        let mut mcfg = MachineConfig::table4(1);
+        mcfg.persist = Some(PersistConfig::default());
+        // Find a fail point: latch immediately after the first fence. The
+        // fence count is not directly addressable by cycle here, so instead
+        // craft the crash state directly: replay the clean run's *redo
+        // window* into a fresh machine while leaving the data line stale —
+        // exactly the durable state a crash between fence 1 and fence 2
+        // leaves behind.
+        let mut m = Machine::new(mcfg);
+        let mut u = UstmShared::new(UstmConfig::default(), META, 1, 1024);
+        let header = clean.machine.peek(u.redo_addr(0, 0));
+        assert_ne!(header, 0);
+        for n in 0..UstmShared::REDO_WORDS_PER_CPU {
+            let v = clean.machine.peek(u.redo_addr(0, n));
+            if v != 0 {
+                m.poke(u.redo_addr(0, n), v);
+            }
+        }
+        m.poke(u.redo_addr(0, 2), 0); // crash predates the applied marker
+        assert_eq!(m.peek(DATA), 0, "data lost in the crash");
+        let out = u.recover(&mut m);
+        assert_eq!(out[0].replayed_records, 1);
+        assert_eq!(m.peek(DATA), 77, "recovery replays the committed write");
+    }
+}
