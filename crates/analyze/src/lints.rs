@@ -1,4 +1,4 @@
-//! The six repo-specific lint passes (D1–D6).
+//! The repo-specific lint passes (D1–D7).
 //!
 //! Each pass is a token-level pattern matcher over [`crate::lexer::Lexed`]
 //! streams with test code stripped. The passes encode *protocol* rules the
@@ -20,6 +20,13 @@
 //! * [`PERSIST_BYPASS`] — a direct `mem.write` in the machine crate
 //!   outside the audited `mem_write` funnel: such a write could shadow the
 //!   volatile/durable split the persistence domain depends on.
+//!
+//! One meta pass guards the scope lists themselves:
+//!
+//! * [`UNCLASSIFIED_CRATE`] — a crate that is in neither [`DETERMINISTIC`]
+//!   nor [`HOST_EXEMPT`]. Without it, adding a crate would silently opt it
+//!   out of the determinism lints (the `ufotm-native` crate is the first
+//!   deliberate exemption; every exemption records its justification).
 
 use crate::lexer::TokenKind;
 use crate::{Finding, SourceFile, WorkspaceIndex};
@@ -36,6 +43,8 @@ pub const STATS_MERGE_EXHAUSTIVENESS: &str = "stats-merge-exhaustiveness";
 pub const PANICKING_MACHINE_ACCESS: &str = "panicking-machine-access";
 /// Lint name: direct `mem.write` outside the audited `mem_write` funnel.
 pub const PERSIST_BYPASS: &str = "persist-bypass";
+/// Lint name: crate in neither the deterministic nor the host-exempt list.
+pub const UNCLASSIFIED_CRATE: &str = "unclassified-crate";
 /// Pseudo-lint: a suppression marker missing its `-- <reason>`.
 pub const BAD_SUPPRESSION: &str = "bad-suppression";
 /// Pseudo-lint: a suppression marker that matched no finding.
@@ -49,6 +58,7 @@ pub const LINTS: &[&str] = &[
     STATS_MERGE_EXHAUSTIVENESS,
     PANICKING_MACHINE_ACCESS,
     PERSIST_BYPASS,
+    UNCLASSIFIED_CRATE,
 ];
 
 /// Crates whose code runs under the cycle-charged simulation clock: any
@@ -61,6 +71,28 @@ pub const CYCLE_CHARGED: &[&str] = &["machine", "ustm", "tl2", "core"];
 /// (wall-clock measurement is its job), `analyze`, and `xtask` — is
 /// excluded (D3/D5 scope).
 pub const DETERMINISTIC: &[&str] = &["machine", "ustm", "tl2", "core", "sim", "stamp", "root"];
+
+/// Crates deliberately allowed to observe host state, each with the
+/// recorded justification for its exemption. Every crate in the workspace
+/// must appear either here or in [`DETERMINISTIC`]; an unknown crate fires
+/// [`UNCLASSIFIED_CRATE`] instead of silently skipping the determinism
+/// passes.
+pub const HOST_EXEMPT: &[(&str, &str)] = &[
+    ("bench", "wall-clock measurement is this crate's entire job"),
+    (
+        "analyze",
+        "host tooling: walks the filesystem, never runs under the simulated clock",
+    ),
+    (
+        "xtask",
+        "host tooling: drives cargo, CI gates, and artifact diffing",
+    ),
+    (
+        "native",
+        "host-atomics TL2 backend: real races and wall-clock timing are its product, \
+         not a contaminant",
+    ),
+];
 
 /// Machine access methods whose results must not be unwrapped inline on
 /// plain-access paths (D5). The audited escape hatch is
@@ -124,6 +156,29 @@ pub fn run_passes(file: &SourceFile, index: &WorkspaceIndex, out: &mut Vec<Findi
         persist_bypass(file, out);
     }
     stats_merge_exhaustiveness(file, out);
+    let host_exempt = HOST_EXEMPT.iter().any(|(c, _)| *c == file.crate_name);
+    if !in_deterministic && !host_exempt {
+        unclassified_crate(file, out);
+    }
+}
+
+/// Meta pass: a crate absent from both scope lists gets one finding per
+/// file, anchored on the first code line so a standalone allow marker at
+/// the top of the file can govern it while the classification is decided.
+fn unclassified_crate(file: &SourceFile, out: &mut Vec<Finding>) {
+    let line = file.code_lines.iter().next().copied().unwrap_or(1);
+    push(
+        out,
+        UNCLASSIFIED_CRATE,
+        file,
+        line,
+        format!(
+            "crate `{}` is in neither `DETERMINISTIC` nor `HOST_EXEMPT`: every crate \
+             must declare whether it may observe host state (classify it in \
+             crates/analyze/src/lints.rs — exemptions record a justification)",
+            file.crate_name
+        ),
+    );
 }
 
 fn push(out: &mut Vec<Finding>, lint: &'static str, file: &SourceFile, line: u32, message: String) {

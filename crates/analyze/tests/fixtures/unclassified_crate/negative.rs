@@ -1,0 +1,8 @@
+//@ path: crates/native/src/fixture.rs
+//! Meta pass negative: `native` is host-exempt (its justification lives in
+//! HOST_EXEMPT), so host clocks here draw no finding at all.
+use std::time::Instant;
+
+pub fn elapsed_ns(start: Instant) -> u128 {
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,6 @@
+//@ path: crates/mystery/src/lib.rs
+//! Meta pass positive: `mystery` appears in neither DETERMINISTIC nor
+//! HOST_EXEMPT, so its first code line is flagged.
+pub fn answer() -> u64 { //~ unclassified-crate
+    42
+}

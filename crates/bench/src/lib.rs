@@ -24,7 +24,7 @@
 
 use std::collections::BTreeMap;
 
-use ufotm_core::SystemKind;
+use ufotm_core::{json_escape, SystemKind};
 use ufotm_machine::AbortReason;
 use ufotm_stamp::harness::{RunOutcome, RunSpec};
 
@@ -311,15 +311,10 @@ impl ArtifactWriter {
                 out.push(',');
             }
             out.push_str("{\"label\":\"");
-            // Labels are bench-authored slugs; escape the two JSON-special
-            // characters anyway so a stray quote cannot corrupt the file.
-            for c in run.label.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    c => out.push(c),
-                }
-            }
+            // Labels are bench-authored slugs, but escape fully anyway
+            // (control characters included) so no label can corrupt the
+            // artifact — same routine the run reports use.
+            out.push_str(&json_escape(&run.label));
             out.push('"');
             if let Some(report) = &run.report {
                 out.push_str(",\"report\":");
@@ -339,7 +334,7 @@ impl ArtifactWriter {
                     out.push(',');
                 }
                 out.push('"');
-                out.push_str(k);
+                out.push_str(&json_escape(k));
                 out.push_str(&format!("\":{v:.4}"));
             }
             out.push('}');
@@ -391,5 +386,29 @@ impl Recap {
         for (k, v) in &self.lines {
             println!("  {k}: {v}");
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_labels_and_metric_keys_are_fully_escaped() {
+        let mut art = ArtifactWriter::new("escape_test");
+        art.push_host(
+            "weird \"label\"\\with\nnewline",
+            HostMetrics {
+                ns: 1,
+                sim_cycles: 1,
+            },
+        );
+        art.metric("key\"with\tcontrols\u{1}", 1.0);
+        let json = art.to_json();
+        assert!(json.contains(r#"weird \"label\"\\with\nnewline"#));
+        assert!(json.contains(r#"key\"with\tcontrols\u0001"#));
+        // Nothing that would break a strict JSON parser survives: no raw
+        // control characters anywhere in the artifact.
+        assert!(json.chars().all(|c| c as u32 >= 0x20));
     }
 }

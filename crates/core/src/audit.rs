@@ -39,6 +39,13 @@
 //! 9. **Recovery is idempotent** — every `RecoveryReplay` for a CPU in the
 //!    same crash epoch reports the same record count (recovering twice
 //!    equals recovering once).
+//! 10. **Serial windows are fenced (or refused)** — a serial-irrevocable
+//!     window that commits on a durable run must contain a
+//!     `PersistFence`. The driver upholds this by *refusing* serial
+//!     escalation whenever a persist domain is configured (the serial
+//!     path writes no redo record), so any durable journal showing
+//!     `SerialIrrevocable` … `PlainCommit` without a fence is the
+//!     pre-refusal bug resurfacing: a window a power failure could tear.
 //!
 //! A `PowerFail` entry ends every CPU's execution at once: open attempts
 //! die with the volatile state (no balance violation), and later entries
@@ -419,11 +426,24 @@ fn audit(events: &[TraceEvent], truncated: bool, durable: bool) -> AuditReport {
                 t.state = CpuState::InSerial;
                 t.txn_start.get_or_insert(e.cycle);
                 t.attempts += 1;
+                t.fence_since_begin = false;
             }
             TraceKind::PlainCommit => {
                 let path = if t.state == CpuState::InSerial {
                     if serial_holder == Some(e.cpu) {
                         serial_holder = None;
+                    }
+                    // Invariant 10: a durable serial window without its
+                    // fence is unrecoverable after a power failure (the
+                    // serial path has no redo record — the driver must
+                    // refuse the escalation instead).
+                    if durable && !t.fence_since_begin {
+                        report.violations.push(violation(
+                            "serial-irrevocable window committed without a persist \
+                             fence on a durable run (serial escalation must be \
+                             refused when a persist domain is configured)"
+                                .to_string(),
+                        ));
                     }
                     CommitPath::Serial
                 } else {

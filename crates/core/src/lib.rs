@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod audit;
+mod backend;
 mod lockbase;
 mod phtm;
 mod policy;
@@ -41,11 +42,14 @@ pub use audit::{
     audit_events, audit_events_durable, audit_log, AuditReport, AuditViolation, CommitPath,
     TxnRecord,
 };
+pub use backend::{BackendKind, Stop, TmBackend, TxScope};
 pub use lockbase::LockShared;
 pub use phtm::PhtmShared;
 pub use policy::{BtmUfoFaultPolicy, HybridPolicy};
 pub use reboot::{crashed_journal, recover_world};
-pub use report::{CycleAttribution, Log2Histogram, RunReport, TraceSummary, ABORT_TAXONOMY};
+pub use report::{
+    json_escape, CycleAttribution, Log2Histogram, RunReport, TraceSummary, ABORT_TAXONOMY,
+};
 pub use runtime::TmThread;
 pub use shared::{
     AllocModel, HasTm, HybridStats, SerialGate, SystemKind, TmShared, TmSharedLayout, TmWorld,

@@ -324,6 +324,10 @@ impl RunReport {
         root.u64("hw_retries", self.hybrid.hw_retries);
         root.u64("forced_failovers", self.hybrid.forced_failovers);
         root.u64("watchdog_escalations", self.hybrid.watchdog_escalations);
+        root.u64(
+            "durable_serial_refusals",
+            self.hybrid.durable_serial_refusals,
+        );
         root.u64("alloc_syscalls", self.hybrid.alloc_syscalls);
 
         let mut machine = JsonObj::new();
@@ -451,7 +455,12 @@ impl RunReport {
 ///
 /// v2: `persist` section, `chaos.power_fails`, and the five USTM
 /// durability counters (`redo_records` through `torn_records`).
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: `durable_serial_refusals` (serial-irrevocable escalations the
+/// driver refused because a persist domain was configured — the serial
+/// path has no redo record, so escalating would break crash
+/// consistency).
+pub const SCHEMA_VERSION: u64 = 3;
 
 fn json_u64_array(values: &[u64]) -> String {
     let mut out = String::from("[");
@@ -465,13 +474,26 @@ fn json_u64_array(values: &[u64]) -> String {
     out
 }
 
-fn json_escape(s: &str) -> String {
+/// Escapes a string for embedding in a JSON string literal (RFC 8259):
+/// `"` and `\` get their two-character escapes, `\n`/`\t`/`\r` their
+/// short forms, and every other control character below `0x20` a
+/// `\u00XX` escape. Everything else — including non-BMP characters —
+/// passes through as UTF-8 (lone surrogates cannot occur: Rust `&str`
+/// is valid UTF-8 by construction).
+///
+/// Shared by every hand-rolled JSON writer in the workspace (run
+/// reports here, bench artifacts in `ufotm-bench`) so hostile workload
+/// names and labels cannot produce invalid JSON.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
             c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
             c => out.push(c),
         }
@@ -555,6 +577,109 @@ mod tests {
         o.str("b", "x\"y");
         o.bool("c", true);
         assert_eq!(o.close(), r#"{"a":1,"b":"x\"y","c":true}"#);
+    }
+
+    /// A strict little JSON string-literal reader: parses exactly one
+    /// quoted string from `input` and returns its decoded value. Errors
+    /// (not panics) on anything RFC 8259 forbids — unescaped control
+    /// characters, unknown escapes, bad `\uXXXX` — so the round-trip
+    /// test rejects invalid output instead of misreading it.
+    fn parse_json_string(input: &str) -> Result<String, String> {
+        let mut chars = input.chars();
+        if chars.next() != Some('"') {
+            return Err("missing opening quote".into());
+        }
+        let mut out = String::new();
+        loop {
+            let c = chars.next().ok_or("unterminated string")?;
+            match c {
+                '"' => {
+                    return if chars.next().is_none() {
+                        Ok(out)
+                    } else {
+                        Err("trailing garbage".into())
+                    };
+                }
+                '\\' => match chars.next().ok_or("dangling backslash")? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let hex: String = (0..4)
+                            .map(|_| chars.next().ok_or("short \\u escape"))
+                            .collect::<Result<_, _>>()?;
+                        let n = u32::from_str_radix(&hex, 16).map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(n).ok_or("\\u escape is a surrogate")?);
+                    }
+                    other => return Err(format!("unknown escape \\{other}")),
+                },
+                c if (c as u32) < 0x20 => {
+                    return Err(format!("raw control character {:#x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn json_escape_round_trips_hostile_strings() {
+        let hostile = [
+            "",
+            "plain",
+            "\\",
+            "\\\\",
+            "\"",
+            "\\\"",
+            "a\"b\\c",
+            "\n\t\r",
+            "\u{0}\u{1}\u{1f}",
+            "ctrl\u{b}mixed\u{7f}", // 0x7f is not a control char per RFC 8259
+            "trailing backslash\\",
+            "\\u0041 looks like an escape but is literal",
+            "unicode: é 漢 🦀 \u{10FFFF}",
+            "already \\n escaped",
+            "quote-backslash tangle: \\\" \"\\ \\\\\" ",
+        ];
+        for s in hostile {
+            let encoded = format!("\"{}\"", json_escape(s));
+            let decoded = parse_json_string(&encoded)
+                .unwrap_or_else(|e| panic!("invalid JSON for {s:?}: {e}\n  encoded: {encoded}"));
+            assert_eq!(decoded, s, "round-trip mangled {s:?} via {encoded}");
+        }
+    }
+
+    #[test]
+    fn json_escape_round_trips_seeded_random_strings() {
+        // Deterministic fuzz: random mixes of quotes, backslashes,
+        // control characters and multibyte text. No host randomness —
+        // same bytes every run.
+        let alphabet: Vec<char> = ('\u{0}'..='\u{2f}')
+            .chain(['\\', '"', 'a', 'é', '漢', '🦀', '\u{7f}', '\u{9f}'])
+            .collect();
+        let mut state = 0xDEAD_BEEF_u64;
+        for _ in 0..2000 {
+            let len = (splitmix(&mut state) % 24) as usize;
+            let s: String = (0..len)
+                .map(|_| alphabet[(splitmix(&mut state) as usize) % alphabet.len()])
+                .collect();
+            let encoded = format!("\"{}\"", json_escape(&s));
+            let decoded = parse_json_string(&encoded)
+                .unwrap_or_else(|e| panic!("invalid JSON for {s:?}: {e}\n  encoded: {encoded}"));
+            assert_eq!(decoded, s, "round-trip mangled {s:?} via {encoded}");
+        }
     }
 
     #[test]

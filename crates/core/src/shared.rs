@@ -123,6 +123,13 @@ pub struct HybridStats {
     /// Times the progress watchdog escalated a transaction to a stronger
     /// tier (software failover or serial-irrevocable execution).
     pub watchdog_escalations: u64,
+    /// Serial-irrevocable escalations the driver *refused* because a
+    /// persist domain is configured: the serial path commits through
+    /// plain stores with no redo record, so a power failure inside a
+    /// serial window would violate crash consistency. On persistent
+    /// machines the watchdog caps out at the software tier and this
+    /// counts each time the serial tier would otherwise have fired.
+    pub durable_serial_refusals: u64,
     /// Failovers to software, by the abort reason that triggered them.
     pub failovers: BTreeMap<AbortReason, u64>,
     /// Failovers forced by the microbenchmark hook.

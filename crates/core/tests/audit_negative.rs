@@ -236,6 +236,55 @@ fn durable_commit_missing_its_fence_is_flagged() {
 }
 
 #[test]
+fn durable_serial_window_without_fence_is_flagged() {
+    // Invariant 10: this is exactly the journal shape the pre-refusal
+    // driver produced on a persistent machine — a serial-irrevocable
+    // escalation committing through plain stores with no redo record,
+    // hence no fence. A power failure inside the window would tear the
+    // heap unrecoverably, so the durable auditor must reject it.
+    let events = [
+        ev(10, 0, TraceKind::SerialIrrevocable),
+        ev(20, 0, TraceKind::PlainCommit),
+    ];
+    let r = audit_events_durable(&events, false);
+    assert!(!r.is_clean());
+    assert!(
+        r.violations[0]
+            .message
+            .contains("serial-irrevocable window committed without a persist"),
+        "got: {}",
+        r.violations[0]
+    );
+    // The volatile auditor accepts the same journal: without a persist
+    // domain the serial path is sound (and was, before this rule).
+    audit_events(&events, false).assert_clean();
+
+    // A fence from the *preceding software attempt* does not cover the
+    // serial window — it must contain its own.
+    let events = [
+        ev(10, 0, TraceKind::SwBegin),
+        ev(20, 0, TraceKind::PersistFence),
+        ev(30, 0, TraceKind::SwCommit),
+        ev(40, 0, TraceKind::SerialIrrevocable),
+        ev(50, 0, TraceKind::PlainCommit),
+    ];
+    let r = audit_events_durable(&events, false);
+    assert_eq!(r.violations.len(), 1);
+    assert!(r.violations[0]
+        .message
+        .contains("serial-irrevocable window committed without a persist"));
+
+    // A fenced serial window is clean (the legal shape, should the
+    // serial path ever grow a durable redo record).
+    let events = [
+        ev(10, 0, TraceKind::SerialIrrevocable),
+        ev(15, 0, TraceKind::PersistFence),
+        ev(20, 0, TraceKind::PlainCommit),
+    ];
+    audit_events_durable(&events, false).assert_clean();
+}
+
+#[test]
 fn resurrected_transaction_is_flagged() {
     // Invariant 8: cpu 1 cleanly aborted before the crash — recovery must
     // not replay a record for it.

@@ -23,7 +23,7 @@ use ufotm_core::{
     TmShared, TmThread,
 };
 use ufotm_machine::{Addr, CrashImage, FaultPlan, Machine, MachineConfig, PersistConfig};
-use ufotm_sim::{for_each_seed, seed_count, Ctx, Sim, SimResult, ThreadFn};
+use ufotm_sim::{for_each_seed_plan, seed_count, Ctx, Sim, SimResult, ThreadFn};
 
 const COUNTER: Addr = Addr(0);
 const CPUS: usize = 3;
@@ -59,16 +59,22 @@ enum Workload {
     WideLines,
 }
 
+/// A mixed fault background makes the seed dimension real (injected
+/// UFO-set retries and nacks shift every cell's timing); the fail-point
+/// itself stays deterministic and never consults the injection PRNG.
+/// The sweep runs through [`for_each_seed_plan`], which would reject a
+/// seed-insensitive plan here (the vacuous-sweep guard).
+fn crash_plan(fail_at: u64, seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::mixed(seed);
+    plan.power_fail_at = Some(fail_at);
+    plan
+}
+
 fn crash_config(fail_at: u64, seed: u64) -> MachineConfig {
     let mut cfg = MachineConfig::table4(CPUS);
     cfg.memory_words = 1 << 19;
     cfg.persist = Some(PersistConfig::default());
-    // A mixed fault background makes the seed dimension real (injected
-    // UFO-set retries and nacks shift every cell's timing); the fail-point
-    // itself stays deterministic and never consults the injection PRNG.
-    let mut plan = FaultPlan::mixed(seed);
-    plan.power_fail_at = Some(fail_at);
-    cfg.fault_plan = Some(plan);
+    cfg.fault_plan = Some(crash_plan(fail_at, seed));
     cfg
 }
 
@@ -82,10 +88,12 @@ fn run_to_crash(cfg: &MachineConfig, workload: Workload) -> SimResult<TmShared> 
         (0..CPUS)
             .map(|cpu| -> ThreadFn<TmShared> {
                 Box::new(move |ctx: &mut Ctx<TmShared>| {
-                    // No watchdog: a serial-irrevocable escalation would
-                    // commit without a redo record (serial-path durability
-                    // is out of scope), and USTM's age-ordered kills
-                    // guarantee progress on their own.
+                    // Default policy (no watchdog): USTM's age-ordered
+                    // kills guarantee progress on their own. A serial-armed
+                    // policy would be safe too — the driver refuses serial
+                    // escalation on persistent machines (see
+                    // `durable_machine_refuses_serial_escalation`) — but
+                    // the sweep keeps the paper's default.
                     let mut t =
                         TmThread::with_policy(SystemKind::UstmStrong, cpu, HybridPolicy::default());
                     t.install(ctx);
@@ -261,18 +269,90 @@ fn power_fail_sweep_recovers_consistently() {
         Workload::WideLines,
     ] {
         for fail_at in [1_000, 8_000, 30_000, 90_000] {
-            for_each_seed(0, seeds, |seed| {
-                let label = format!("{workload:?}/fail@{fail_at}/seed {seed}");
-                if crash_recover_audit(fail_at, seed, workload, &label) {
-                    crashed_cells += 1;
-                }
-            });
+            for_each_seed_plan(
+                0,
+                seeds,
+                |seed| crash_plan(fail_at, seed),
+                |seed, _plan| {
+                    let label = format!("{workload:?}/fail@{fail_at}/seed {seed}");
+                    if crash_recover_audit(fail_at, seed, workload, &label) {
+                        crashed_cells += 1;
+                    }
+                },
+            );
         }
     }
     assert!(
         crashed_cells > 0,
         "no cell crashed: fail-points all landed past the makespan"
     );
+}
+
+/// The watchdog's serial tier is refused on persistent machines: the
+/// serial path commits through plain stores with no redo record, so the
+/// driver caps out at the software tier, counts each refusal, and the
+/// run still completes and audits durably clean (invariant 10 included).
+/// The same workload and policy on a volatile machine *does* escalate —
+/// proving the persist gate, not the workload, is what changed.
+#[test]
+fn durable_machine_refuses_serial_escalation() {
+    // A hair-trigger serial tier: the first software kill escalates.
+    let policy = HybridPolicy {
+        watchdog_sw_kills: Some(1),
+        ..HybridPolicy::watchdog()
+    };
+    let run = |persist: bool| {
+        let mut cfg = MachineConfig::table4(CPUS);
+        cfg.memory_words = 1 << 19;
+        cfg.persist = persist.then(PersistConfig::default);
+        let machine = Machine::new(cfg.clone());
+        let mut shared = TmShared::standard(SystemKind::UstmStrong, &cfg);
+        shared.trace.enable(1 << 16);
+        Sim::new(machine, shared).run(
+            (0..CPUS)
+                .map(|cpu| -> ThreadFn<TmShared> {
+                    Box::new(move |ctx: &mut Ctx<TmShared>| {
+                        let mut t = TmThread::with_policy(SystemKind::UstmStrong, cpu, policy);
+                        t.install(ctx);
+                        for _ in 0..TXNS {
+                            t.transaction(ctx, |tx, ctx| {
+                                let v = tx.read(ctx, COUNTER)?;
+                                tx.work(ctx, 120)?;
+                                tx.write(ctx, COUNTER, v + 1)?;
+                                Ok(())
+                            });
+                        }
+                    })
+                })
+                .collect(),
+        )
+    };
+
+    let durable = run(true);
+    assert_eq!(durable.machine.peek(COUNTER), CPUS as u64 * TXNS);
+    let report = RunReport::collect(0, &durable.machine, &durable.shared);
+    // The durable audit (invariant 10: serial windows must be fenced or
+    // refused) is clean because no serial window ever opened.
+    report.assert_audit_clean();
+    assert_eq!(
+        report.hybrid.serial_commits, 0,
+        "a persistent machine must never commit serial-irrevocably"
+    );
+    assert!(
+        report.hybrid.durable_serial_refusals > 0,
+        "the refusal must be counted, not silent"
+    );
+
+    let volatile = run(false);
+    assert_eq!(volatile.machine.peek(COUNTER), CPUS as u64 * TXNS);
+    let vreport = RunReport::collect(0, &volatile.machine, &volatile.shared);
+    vreport.assert_audit_clean();
+    assert!(
+        vreport.hybrid.serial_commits > 0,
+        "the workload must provoke serial escalation on a volatile \
+         machine, or this test proves nothing about the refusal"
+    );
+    assert_eq!(vreport.hybrid.durable_serial_refusals, 0);
 }
 
 /// A run whose fail-point lands past the makespan never latches: the

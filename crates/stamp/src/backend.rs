@@ -1,0 +1,123 @@
+//! The simulated-substrate implementation of the core backend traits.
+//!
+//! [`SimBackend`] adapts one worker's ([`TmThread`], [`Ctx`]) pair to
+//! [`TmBackend`], so workload bodies written against the backend traits
+//! run on the deterministic machine with *exactly* the operation stream
+//! the pre-refactor hand-wired bodies issued: `plain_load`/`plain_store`
+//! are `nont_load`/`nont_store`, `compute` is a cycle-charged
+//! `Ctx::work`, `barrier` is the simulated-address [`Barrier`], and
+//! `transaction` delegates to [`TmThread::transaction`] with the scope
+//! translating [`TxAbort`] to the opaque [`Stop`] token and back.
+//! Simulated results are therefore byte-identical either way.
+
+use ufotm_core::{nont_load, nont_store, Stop, TmBackend, TmThread, Tx, TxAbort, TxScope};
+use ufotm_machine::{Addr, PlainAccess};
+use ufotm_sim::Ctx;
+
+use crate::world::{Barrier, StampWorld};
+
+/// One simulated worker's backend handle: the thread runtime plus its
+/// engine context.
+pub struct SimBackend<'a> {
+    t: &'a mut TmThread,
+    ctx: &'a mut Ctx<StampWorld>,
+    tid: usize,
+    threads: usize,
+}
+
+impl<'a> SimBackend<'a> {
+    /// Wraps a worker's runtime and context.
+    #[must_use]
+    pub fn new(
+        t: &'a mut TmThread,
+        ctx: &'a mut Ctx<StampWorld>,
+        tid: usize,
+        threads: usize,
+    ) -> Self {
+        SimBackend {
+            t,
+            ctx,
+            tid,
+            threads,
+        }
+    }
+}
+
+/// The in-transaction scope: a live [`Tx`] attempt plus the abort that
+/// stopped it (so `transaction` can hand the real [`TxAbort`] back to the
+/// driver's retry machinery instead of inventing one).
+struct SimScope<'s, 'a> {
+    tx: &'s mut Tx<'a>,
+    ctx: &'s mut Ctx<StampWorld>,
+    abort: Option<TxAbort>,
+}
+
+impl SimScope<'_, '_> {
+    fn stop(&mut self, abort: TxAbort) -> Stop {
+        self.abort = Some(abort);
+        Stop
+    }
+}
+
+impl TxScope for SimScope<'_, '_> {
+    fn read(&mut self, addr: Addr) -> Result<u64, Stop> {
+        self.tx.read(self.ctx, addr).map_err(|a| self.stop(a))
+    }
+
+    fn write(&mut self, addr: Addr, value: u64) -> Result<(), Stop> {
+        self.tx
+            .write(self.ctx, addr, value)
+            .map_err(|a| self.stop(a))
+    }
+
+    fn alloc(&mut self, words: u64) -> Result<Addr, Stop> {
+        self.tx.alloc(self.ctx, words).map_err(|a| self.stop(a))
+    }
+
+    fn work(&mut self, cycles: u64) -> Result<(), Stop> {
+        self.tx.work(self.ctx, cycles).map_err(|a| self.stop(a))
+    }
+}
+
+impl TmBackend for SimBackend<'_> {
+    fn transaction<R>(&mut self, mut body: impl FnMut(&mut dyn TxScope) -> Result<R, Stop>) -> R {
+        self.t.transaction(self.ctx, |tx, ctx| {
+            let mut scope = SimScope {
+                tx,
+                ctx,
+                abort: None,
+            };
+            match body(&mut scope) {
+                Ok(r) => Ok(r),
+                Err(Stop) => Err(scope.abort.take().expect(
+                    "body returned a hand-made Stop: Stop tokens must originate \
+                     from a scope call so the driver knows the real abort reason",
+                )),
+            }
+        })
+    }
+
+    fn plain_load(&mut self, addr: Addr) -> u64 {
+        nont_load(self.ctx, addr)
+    }
+
+    fn plain_store(&mut self, addr: Addr, value: u64) {
+        nont_store(self.ctx, addr, value);
+    }
+
+    fn compute(&mut self, cycles: u64) {
+        self.ctx.work(cycles).plain("backend compute");
+    }
+
+    fn barrier(&mut self) {
+        Barrier::wait(self.ctx);
+    }
+
+    fn tid(&self) -> usize {
+        self.tid
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+}

@@ -9,8 +9,9 @@
 
 use std::collections::BTreeMap;
 
-use ufotm_core::{HybridPolicy, RunReport, SystemKind, TmShared, TmThread};
+use ufotm_core::{BackendKind, HybridPolicy, RunReport, SystemKind, TmShared, TmThread};
 use ufotm_machine::{AbortReason, Addr, Machine, MachineConfig};
+use ufotm_native::{run_threads, NativeStats, NativeThread, NativeTl2};
 use ufotm_sim::{Ctx, HandoffMode, Sim, ThreadFn};
 use ufotm_tl2::Tl2Stats;
 use ufotm_ustm::UstmStats;
@@ -52,6 +53,11 @@ pub struct RunSpec {
     /// Both modes must simulate bit-identically; this knob exists so the
     /// determinism regression tests can prove it.
     pub broadcast_handoff: bool,
+    /// Which execution substrate runs the workload. [`run_workload`]
+    /// requires [`BackendKind::Simulated`]; the `run_native` entry points
+    /// require [`BackendKind::NativeTl2`] (where `kind`, `policy`,
+    /// `machine` and the engine knobs are meaningless and ignored).
+    pub backend: BackendKind,
 }
 
 impl RunSpec {
@@ -73,7 +79,21 @@ impl RunSpec {
             otable_bins_override: None,
             trace_cap: 0,
             broadcast_handoff: false,
+            backend: BackendKind::Simulated,
         }
+    }
+
+    /// A spec for the native host-atomics TL2 backend. The simulated TL2
+    /// is named as `kind` purely for labelling — no simulator runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    #[must_use]
+    pub fn native(threads: usize) -> Self {
+        let mut spec = RunSpec::new(SystemKind::Tl2, threads);
+        spec.backend = BackendKind::NativeTl2;
+        spec
     }
 
     fn machine_config(&self) -> MachineConfig {
@@ -169,6 +189,12 @@ pub fn run_workload(
     make_body: impl Fn(usize) -> WorkBody,
     verify: impl FnOnce(&Machine, &StampWorld),
 ) -> RunOutcome {
+    assert_eq!(
+        spec.backend,
+        BackendKind::Simulated,
+        "run_workload drives the simulator; use the workload's run_native \
+         for BackendKind::NativeTl2"
+    );
     let cfg = spec.machine_config();
     let mut layout = ufotm_core::TmSharedLayout::standard(&cfg);
     if let Some(bins) = spec.otable_bins_override {
@@ -236,6 +262,60 @@ pub fn run_workload(
         stall_cycles: agg.stall_cycles,
         report,
         journal,
+    }
+}
+
+/// Collected results of one native-backend run. Wall-clock timing is the
+/// *caller's* job (`ufotm-bench` wraps `run_native` in its host-metrics
+/// measurement); this crate stays free of host clocks.
+#[derive(Clone, Debug)]
+pub struct NativeOutcome {
+    /// Real OS threads that ran.
+    pub threads: usize,
+    /// Workload operations completed (the ops/sec numerator).
+    pub ops: u64,
+    /// Merged per-thread TL2 counters.
+    pub stats: NativeStats,
+}
+
+/// Builds a native heap sized for statics ending at `static_end` (a byte
+/// address, exclusive) plus `alloc_words` words of transactional
+/// allocation headroom, with a 4096-stripe lock table.
+#[must_use]
+pub fn native_heap(static_end: Addr, alloc_words: u64) -> NativeTl2 {
+    let base_word = static_end.0.next_multiple_of(64) / 8;
+    NativeTl2::new(base_word + alloc_words, 1 << 12, base_word)
+}
+
+/// Runs one configuration on the native backend: `setup` populates the
+/// heap, every thread runs `body` through its [`NativeThread`] handle,
+/// `verify` checks invariants on the final heap (panicking on violation).
+///
+/// # Panics
+///
+/// Panics if `spec.backend` is not [`BackendKind::NativeTl2`], or if
+/// `verify` (or a worker) panics.
+pub fn run_native_workload(
+    spec: &RunSpec,
+    heap: &NativeTl2,
+    setup: impl FnOnce(&NativeTl2),
+    body: impl Fn(&mut NativeThread<'_>) + Sync,
+    verify: impl FnOnce(&NativeTl2),
+    ops: u64,
+) -> NativeOutcome {
+    assert_eq!(
+        spec.backend,
+        BackendKind::NativeTl2,
+        "run_native_workload drives host atomics; use run_workload for \
+         the simulated backend"
+    );
+    setup(heap);
+    let (stats, _) = run_threads(heap, spec.threads, body);
+    verify(heap);
+    NativeOutcome {
+        threads: spec.threads,
+        ops,
+        stats,
     }
 }
 

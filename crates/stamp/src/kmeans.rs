@@ -7,12 +7,20 @@
 //! into the cluster's accumulator — one small transaction per point, all
 //! threads hammering `K` accumulator lines. High contention = few clusters.
 //! Between iterations, thread 0 recomputes the centres at a barrier.
+//!
+//! The workload is written once against [`TmBackend`] and runs on both
+//! substrates: [`run`] on the simulated machine (cycle-charged,
+//! deterministic), [`run_native`] on host atomics (wall-clock ops/sec).
 
-use ufotm_core::{nont_load, nont_store};
-use ufotm_machine::{Addr, Machine, PlainAccess, LINE_WORDS};
+use ufotm_core::TmBackend;
+use ufotm_machine::{Addr, Machine, LINE_WORDS};
 
-use crate::harness::{chunk, run_workload, RunOutcome, RunSpec, STATIC_BASE};
-use crate::world::{Barrier, StampWorld};
+use crate::backend::SimBackend;
+use crate::harness::{
+    chunk, native_heap, run_native_workload, run_workload, NativeOutcome, RunOutcome, RunSpec,
+    STATIC_BASE,
+};
+use crate::world::StampWorld;
 
 /// kmeans parameters.
 #[derive(Clone, Copy, Debug)]
@@ -80,6 +88,11 @@ impl KmeansParams {
         self.accs_base()
             .add_words(k as u64 * LINE_WORDS + field as u64)
     }
+
+    /// One past the last static byte (for native heap sizing).
+    fn static_end(&self) -> Addr {
+        Addr(self.accs_base().0 + self.clusters as u64 * 64)
+    }
 }
 
 /// Deterministic point generator (xorshift on the seed).
@@ -111,7 +124,124 @@ fn nearest(point: &[u64], centers: &[Vec<u64>]) -> usize {
     best
 }
 
-/// Runs kmeans under `spec` and returns the collected numbers.
+/// Populates points and initial centres (= the first K points) through
+/// whatever plain-store the substrate provides.
+fn setup_data(p: KmeansParams, seed: u64, poke: &mut dyn FnMut(Addr, u64)) {
+    for i in 0..p.points {
+        for d in 0..p.dims {
+            poke(p.point(i, d), coord(seed, i, d));
+        }
+    }
+    for k in 0..p.clusters {
+        for d in 0..p.dims {
+            poke(p.center(k, d), coord(seed, k, d));
+        }
+    }
+}
+
+/// One thread's whole run, written once against the backend traits.
+fn assign_body<B: TmBackend>(b: &mut B, p: KmeansParams) {
+    let (start, end) = chunk(p.points, b.threads(), b.tid());
+    for iter in 0..p.iterations {
+        for i in start..end {
+            // Plain reads of the point and all centres, plus the
+            // distance computation.
+            let mut pt = vec![0u64; p.dims];
+            for (d, v) in pt.iter_mut().enumerate() {
+                *v = b.plain_load(p.point(i, d));
+            }
+            let mut centers = vec![vec![0u64; p.dims]; p.clusters];
+            for (k, c) in centers.iter_mut().enumerate() {
+                for (d, v) in c.iter_mut().enumerate() {
+                    *v = b.plain_load(p.center(k, d));
+                }
+            }
+            b.compute((p.clusters * p.dims * 3) as u64);
+            let k = nearest(&pt, &centers);
+            // The transaction: fold the point into accumulator k.
+            b.transaction(|tx| {
+                let c = tx.read(p.acc(k, 0))?;
+                tx.write(p.acc(k, 0), c + 1)?;
+                for (d, v) in pt.iter().enumerate() {
+                    let s = tx.read(p.acc(k, d + 1))?;
+                    tx.write(p.acc(k, d + 1), s + v)?;
+                }
+                Ok(())
+            });
+        }
+        b.barrier();
+        if b.tid() == 0 && iter + 1 < p.iterations {
+            // Recompute centres and reset accumulators for the next
+            // pass (plain accesses: everyone else is at the barrier).
+            for k in 0..p.clusters {
+                let count = b.plain_load(p.acc(k, 0));
+                // Not `checked_div`: the accumulator loads must be
+                // skipped entirely for an empty cluster, or the
+                // simulated access count (and thus cycle totals)
+                // would change.
+                #[allow(clippy::manual_checked_ops)]
+                if count > 0 {
+                    for d in 0..p.dims {
+                        let sum = b.plain_load(p.acc(k, d + 1));
+                        b.plain_store(p.center(k, d), sum / count);
+                    }
+                }
+                b.plain_store(p.acc(k, 0), 0);
+                for d in 0..p.dims {
+                    b.plain_store(p.acc(k, d + 1), 0);
+                }
+            }
+        }
+        b.barrier();
+    }
+}
+
+/// Host-side replay of the final accumulators: same integer arithmetic,
+/// same tie-breaks — exact on both substrates regardless of commit order.
+fn check_final(p: KmeansParams, seed: u64, peek: &dyn Fn(Addr) -> u64) {
+    let mut centers: Vec<Vec<u64>> = (0..p.clusters)
+        .map(|k| (0..p.dims).map(|d| coord(seed, k, d)).collect())
+        .collect();
+    let mut counts = vec![0u64; p.clusters];
+    let mut sums = vec![vec![0u64; p.dims]; p.clusters];
+    for iter in 0..p.iterations {
+        counts.iter_mut().for_each(|c| *c = 0);
+        sums.iter_mut()
+            .for_each(|s| s.iter_mut().for_each(|v| *v = 0));
+        for i in 0..p.points {
+            let pt: Vec<u64> = (0..p.dims).map(|d| coord(seed, i, d)).collect();
+            let k = nearest(&pt, &centers);
+            counts[k] += 1;
+            for (d, v) in pt.iter().enumerate() {
+                sums[k][d] += v;
+            }
+        }
+        if iter + 1 < p.iterations {
+            for k in 0..p.clusters {
+                for d in 0..p.dims {
+                    if let Some(c) = sums[k][d].checked_div(counts[k]) {
+                        centers[k][d] = c;
+                    }
+                }
+            }
+        }
+    }
+    let total: u64 = counts.iter().sum();
+    assert_eq!(total, p.points as u64);
+    for k in 0..p.clusters {
+        assert_eq!(
+            peek(p.acc(k, 0)),
+            counts[k],
+            "cluster {k} count diverged (lost transactional updates?)"
+        );
+        for d in 0..p.dims {
+            assert_eq!(peek(p.acc(k, d + 1)), sums[k][d], "cluster {k} dim {d} sum");
+        }
+    }
+}
+
+/// Runs kmeans under `spec` on the simulated machine and returns the
+/// collected numbers.
 ///
 /// # Panics
 ///
@@ -122,130 +252,43 @@ pub fn run(spec: &RunSpec, params: &KmeansParams) -> RunOutcome {
     let p = *params;
     let seed = spec.seed;
     let threads = spec.threads;
-    let iterations = p.iterations;
 
     let setup = move |m: &mut Machine, _w: &mut StampWorld| {
-        for i in 0..p.points {
-            for d in 0..p.dims {
-                m.poke(p.point(i, d), coord(seed, i, d));
-            }
-        }
-        for k in 0..p.clusters {
-            for d in 0..p.dims {
-                // Initial centres = the first K points.
-                m.poke(p.center(k, d), coord(seed, k, d));
-            }
-        }
+        setup_data(p, seed, &mut |a, v| m.poke(a, v));
     };
 
     let make_body = move |tid: usize| -> crate::harness::WorkBody {
         Box::new(move |t, ctx| {
-            let (start, end) = chunk(p.points, threads, tid);
-            for iter in 0..iterations {
-                for i in start..end {
-                    // Plain reads of the point and all centres, plus the
-                    // distance computation.
-                    let mut pt = vec![0u64; p.dims];
-                    for (d, v) in pt.iter_mut().enumerate() {
-                        *v = nont_load(ctx, p.point(i, d));
-                    }
-                    let mut centers = vec![vec![0u64; p.dims]; p.clusters];
-                    for (k, c) in centers.iter_mut().enumerate() {
-                        for (d, v) in c.iter_mut().enumerate() {
-                            *v = nont_load(ctx, p.center(k, d));
-                        }
-                    }
-                    ctx.work((p.clusters * p.dims * 3) as u64)
-                        .plain("distance compute");
-                    let k = nearest(&pt, &centers);
-                    // The transaction: fold the point into accumulator k.
-                    let pt2 = pt.clone();
-                    t.transaction(ctx, |tx, ctx| {
-                        let c = tx.read(ctx, p.acc(k, 0))?;
-                        tx.write(ctx, p.acc(k, 0), c + 1)?;
-                        for (d, v) in pt2.iter().enumerate() {
-                            let s = tx.read(ctx, p.acc(k, d + 1))?;
-                            tx.write(ctx, p.acc(k, d + 1), s + v)?;
-                        }
-                        Ok(())
-                    });
-                }
-                Barrier::wait(ctx);
-                if tid == 0 && iter + 1 < iterations {
-                    // Recompute centres and reset accumulators for the next
-                    // pass (plain accesses: everyone else is at the barrier).
-                    for k in 0..p.clusters {
-                        let count = nont_load(ctx, p.acc(k, 0));
-                        // Not `checked_div`: the accumulator loads must be
-                        // skipped entirely for an empty cluster, or the
-                        // simulated access count (and thus cycle totals)
-                        // would change.
-                        #[allow(clippy::manual_checked_ops)]
-                        if count > 0 {
-                            for d in 0..p.dims {
-                                let sum = nont_load(ctx, p.acc(k, d + 1));
-                                nont_store(ctx, p.center(k, d), sum / count);
-                            }
-                        }
-                        nont_store(ctx, p.acc(k, 0), 0);
-                        for d in 0..p.dims {
-                            nont_store(ctx, p.acc(k, d + 1), 0);
-                        }
-                    }
-                }
-                Barrier::wait(ctx);
-            }
+            let mut b = SimBackend::new(t, ctx, tid, threads);
+            assign_body(&mut b, p);
         })
     };
 
     let verify = move |m: &Machine, _w: &StampWorld| {
-        // Host-side replay: same integer arithmetic, same tie-breaks.
-        let mut centers: Vec<Vec<u64>> = (0..p.clusters)
-            .map(|k| (0..p.dims).map(|d| coord(seed, k, d)).collect())
-            .collect();
-        let mut counts = vec![0u64; p.clusters];
-        let mut sums = vec![vec![0u64; p.dims]; p.clusters];
-        for iter in 0..iterations {
-            counts.iter_mut().for_each(|c| *c = 0);
-            sums.iter_mut()
-                .for_each(|s| s.iter_mut().for_each(|v| *v = 0));
-            for i in 0..p.points {
-                let pt: Vec<u64> = (0..p.dims).map(|d| coord(seed, i, d)).collect();
-                let k = nearest(&pt, &centers);
-                counts[k] += 1;
-                for (d, v) in pt.iter().enumerate() {
-                    sums[k][d] += v;
-                }
-            }
-            if iter + 1 < iterations {
-                for k in 0..p.clusters {
-                    for d in 0..p.dims {
-                        if let Some(c) = sums[k][d].checked_div(counts[k]) {
-                            centers[k][d] = c;
-                        }
-                    }
-                }
-            }
-        }
-        let total: u64 = counts.iter().sum();
-        assert_eq!(total, p.points as u64);
-        for k in 0..p.clusters {
-            assert_eq!(
-                m.peek(p.acc(k, 0)),
-                counts[k],
-                "cluster {k} count diverged (lost transactional updates?)"
-            );
-            for d in 0..p.dims {
-                assert_eq!(
-                    m.peek(p.acc(k, d + 1)),
-                    sums[k][d],
-                    "cluster {k} dim {d} sum"
-                );
-            }
-        }
+        check_final(p, seed, &|a| m.peek(a));
     };
 
     run_workload(spec, setup, make_body, verify)
+}
+
+/// Runs kmeans on the native host-atomics TL2 backend: the *same*
+/// `assign_body` on real OS threads, verified by the same host replay.
+///
+/// # Panics
+///
+/// Panics if verification fails or `spec.backend` is not native.
+pub fn run_native(spec: &RunSpec, params: &KmeansParams) -> NativeOutcome {
+    let p = *params;
+    let seed = spec.seed;
+    let heap = native_heap(p.static_end(), 0);
+    run_native_workload(
+        spec,
+        &heap,
+        |h| setup_data(p, seed, &mut |a, v| h.poke(a, v)),
+        |th| assign_body(th, p),
+        |h| check_final(p, seed, &|a| h.peek(a)),
+        (p.points * p.iterations) as u64,
+    )
 }
 
 #[cfg(test)]
@@ -297,5 +340,12 @@ mod tests {
             par.makespan,
             seq.makespan
         );
+    }
+
+    #[test]
+    fn kmeans_verifies_on_native_threads() {
+        let out = run_native(&RunSpec::native(4), &tiny());
+        assert_eq!(out.ops, 96 * 2);
+        assert_eq!(out.stats.commits, 96 * 2, "one commit per assignment");
     }
 }

@@ -23,12 +23,19 @@
 //! workload bodies, machine configuration, and result collection together
 //! for the benchmark drivers in `ufotm-bench`.
 //!
+//! Two workloads (kmeans and ssca2) are additionally written against the
+//! substrate-agnostic [`TmBackend`](ufotm_core::TmBackend) traits via
+//! [`backend::SimBackend`], so the *same body* also runs on `ufotm-native`'s
+//! host-atomics TL2 (`kmeans::run_native`, `ssca2::run_native`) for
+//! wall-clock throughput and sim-vs-native cross-validation.
+//!
 //! [`Tx`]: ufotm_core::Tx
 //! [`SystemKind`]: ufotm_core::SystemKind
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod genome;
 pub mod harness;
 pub mod kmeans;
@@ -38,5 +45,6 @@ pub mod structures;
 pub mod vacation;
 mod world;
 
-pub use harness::{RunOutcome, RunSpec};
+pub use backend::SimBackend;
+pub use harness::{NativeOutcome, RunOutcome, RunSpec};
 pub use world::{Barrier, StampWorld};

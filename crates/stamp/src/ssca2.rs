@@ -7,10 +7,18 @@
 //! high-throughput/low-contention end of the spectrum. Useful as a sanity
 //! extension: every TM system should scale here, with hybrids committing
 //! ~everything in hardware.
+//!
+//! Like kmeans, the body is written once against [`TmBackend`]: [`run`]
+//! executes it on the simulator, [`run_native`] on host atomics.
 
-use ufotm_machine::{Addr, Machine, PlainAccess, LINE_WORDS};
+use ufotm_core::TmBackend;
+use ufotm_machine::{Addr, Machine, LINE_WORDS};
 
-use crate::harness::{chunk, run_workload, RunOutcome, RunSpec, STATIC_BASE};
+use crate::backend::SimBackend;
+use crate::harness::{
+    chunk, native_heap, run_native_workload, run_workload, NativeOutcome, RunOutcome, RunSpec,
+    STATIC_BASE,
+};
 use crate::world::StampWorld;
 
 /// ssca2 parameters.
@@ -36,6 +44,11 @@ impl Ssca2Params {
     fn node(&self, n: usize) -> Addr {
         STATIC_BASE.add_words(n as u64 * LINE_WORDS)
     }
+
+    /// One past the last static byte (for native heap sizing).
+    fn static_end(&self) -> Addr {
+        self.node(self.nodes)
+    }
 }
 
 /// Deterministic edge stream.
@@ -49,7 +62,59 @@ fn edge(seed: u64, i: usize, nodes: usize) -> (u64, u64) {
     (src, dst)
 }
 
-/// Runs ssca2 under `spec`.
+/// One thread's whole run: insert its chunk of the edge stream.
+fn insert_body<B: TmBackend>(b: &mut B, p: Ssca2Params, seed: u64) {
+    let (start, end) = chunk(p.edges, b.threads(), b.tid());
+    for i in start..end {
+        let (src, dst) = edge(seed, i, p.nodes);
+        let node = p.node(src as usize);
+        b.transaction(|tx| {
+            // Edge cell: [dst, next].
+            let cell = tx.alloc(2)?;
+            tx.write(cell, dst)?;
+            let head = tx.read(node)?;
+            tx.write(cell.add_words(1), head)?;
+            tx.write(node, cell.0)?;
+            let deg = tx.read(node.add_words(1))?;
+            tx.write(node.add_words(1), deg + 1)?;
+            Ok(())
+        });
+        b.compute(40);
+    }
+}
+
+/// Walks every adjacency list in the final heap and compares it, as a
+/// multiset, against the generated edge stream; degrees must sum to the
+/// edge count. Works on both substrates (aborted native allocations leak
+/// unreferenced cells, which a reachability walk never visits).
+fn check_final(p: Ssca2Params, seed: u64, peek: &dyn Fn(Addr) -> u64) {
+    // Expected multiset of targets per source.
+    let mut expected: Vec<Vec<u64>> = vec![Vec::new(); p.nodes];
+    for i in 0..p.edges {
+        let (src, dst) = edge(seed, i, p.nodes);
+        expected[src as usize].push(dst);
+    }
+    let mut total_degree = 0u64;
+    for (n, exp) in expected.iter_mut().enumerate() {
+        let node = p.node(n);
+        let mut got = Vec::new();
+        let mut cur = peek(node);
+        while cur != 0 {
+            let cell = Addr(cur);
+            got.push(peek(cell));
+            cur = peek(cell.add_words(1));
+        }
+        let deg = peek(node.add_words(1));
+        assert_eq!(deg as usize, got.len(), "node {n}: degree vs list length");
+        total_degree += deg;
+        got.sort_unstable();
+        exp.sort_unstable();
+        assert_eq!(got, *exp, "node {n}: adjacency multiset");
+    }
+    assert_eq!(total_degree, p.edges as u64);
+}
+
+/// Runs ssca2 under `spec` on the simulated machine.
 ///
 /// # Panics
 ///
@@ -65,54 +130,37 @@ pub fn run(spec: &RunSpec, params: &Ssca2Params) -> RunOutcome {
 
     let make_body = move |tid: usize| -> crate::harness::WorkBody {
         Box::new(move |t, ctx| {
-            let (start, end) = chunk(p.edges, threads, tid);
-            for i in start..end {
-                let (src, dst) = edge(seed, i, p.nodes);
-                let node = p.node(src as usize);
-                t.transaction(ctx, |tx, ctx| {
-                    // Edge cell: [dst, next].
-                    let cell = tx.alloc(ctx, 2)?;
-                    tx.write(ctx, cell, dst)?;
-                    let head = tx.read(ctx, node)?;
-                    tx.write(ctx, cell.add_words(1), head)?;
-                    tx.write(ctx, node, cell.0)?;
-                    let deg = tx.read(ctx, node.add_words(1))?;
-                    tx.write(ctx, node.add_words(1), deg + 1)?;
-                    Ok(())
-                });
-                ctx.work(40).plain("edge prep");
-            }
+            let mut b = SimBackend::new(t, ctx, tid, threads);
+            insert_body(&mut b, p, seed);
         })
     };
 
     let verify = move |m: &Machine, _w: &StampWorld| {
-        // Expected multiset of targets per source.
-        let mut expected: Vec<Vec<u64>> = vec![Vec::new(); p.nodes];
-        for i in 0..p.edges {
-            let (src, dst) = edge(seed, i, p.nodes);
-            expected[src as usize].push(dst);
-        }
-        let mut total_degree = 0u64;
-        for (n, exp) in expected.iter_mut().enumerate() {
-            let node = p.node(n);
-            let mut got = Vec::new();
-            let mut cur = m.peek(node);
-            while cur != 0 {
-                let cell = Addr(cur);
-                got.push(m.peek(cell));
-                cur = m.peek(cell.add_words(1));
-            }
-            let deg = m.peek(node.add_words(1));
-            assert_eq!(deg as usize, got.len(), "node {n}: degree vs list length");
-            total_degree += deg;
-            got.sort_unstable();
-            exp.sort_unstable();
-            assert_eq!(got, *exp, "node {n}: adjacency multiset");
-        }
-        assert_eq!(total_degree, p.edges as u64);
+        check_final(p, seed, &|a| m.peek(a));
     };
 
     run_workload(spec, setup, make_body, verify)
+}
+
+/// Runs ssca2 on the native host-atomics TL2 backend.
+///
+/// # Panics
+///
+/// Panics if verification fails or `spec.backend` is not native.
+pub fn run_native(spec: &RunSpec, params: &Ssca2Params) -> NativeOutcome {
+    let p = *params;
+    let seed = spec.seed;
+    // Allocation headroom: 2 words per edge, with generous slack because
+    // every aborted attempt leaks its cell (bump allocator).
+    let heap = native_heap(p.static_end(), p.edges as u64 * 2 * 64);
+    run_native_workload(
+        spec,
+        &heap,
+        |_| {},
+        |th| insert_body(th, p, seed),
+        |h| check_final(p, seed, &|a| h.peek(a)),
+        p.edges as u64,
+    )
 }
 
 #[cfg(test)]
@@ -164,5 +212,12 @@ mod tests {
         let seq = run(&RunSpec::new(SystemKind::Sequential, 1), &p);
         let par = run(&RunSpec::new(SystemKind::UfoHybrid, 4), &p);
         assert!(par.makespan < seq.makespan, "4T must beat sequential");
+    }
+
+    #[test]
+    fn ssca2_verifies_on_native_threads() {
+        let out = run_native(&RunSpec::native(4), &tiny());
+        assert_eq!(out.ops, 120);
+        assert_eq!(out.stats.commits, 120, "one commit per edge");
     }
 }

@@ -1,0 +1,255 @@
+//! Sim-vs-native TL2 cross-validation.
+//!
+//! Both TL2 implementations (`ufotm_tl2::Tl2Txn` on the simulated
+//! machine, `ufotm_native::NativeTxn` on host atomics) expose manual
+//! step-at-a-time transaction handles, so the *same* single-threaded
+//! script can interleave two transactions on either substrate. Each
+//! script records every operation's result (values, abort
+//! classifications) plus the final heap words it touched; the sim and
+//! native logs must be string-identical. Both sides use a 4096-entry
+//! lock table and the same stripe hash, so even stripe collisions agree.
+
+use std::sync::{Arc, Mutex};
+
+use ufotm_machine::{Addr, Machine, MachineConfig};
+use ufotm_native::{NativeTl2, NativeTxn};
+use ufotm_sim::{Ctx, Sim, ThreadFn};
+use ufotm_tl2::{Tl2Abort, Tl2Config, Tl2Shared, Tl2Txn};
+
+const X: Addr = Addr(512);
+const LOCK_ENTRIES: u64 = 4096;
+
+/// The stripe both implementations hash a line to (kept in sync with
+/// `Tl2Shared::lock_index` / `NativeTl2::stripe_of` — if either drifts,
+/// the classification assertions below catch it).
+fn stripe(addr: Addr) -> u64 {
+    ((addr.0 / 64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) & (LOCK_ENTRIES - 1)
+}
+
+/// An address past `from` on a different stripe than X.
+fn distinct_stripe(from: u64) -> Addr {
+    (1..64)
+        .map(|i| Addr(from + i * 64))
+        .find(|a| stripe(*a) != stripe(X))
+        .expect("a distinct stripe within 64 lines")
+}
+
+/// Two interleaved transactions plus plain heap access — the least
+/// common denominator of the two substrates' manual APIs.
+trait TxnPair {
+    fn begin(&mut self, who: usize);
+    fn read(&mut self, who: usize, addr: Addr) -> Result<u64, Tl2Abort>;
+    fn write(&mut self, who: usize, addr: Addr, value: u64) -> Result<(), Tl2Abort>;
+    fn commit(&mut self, who: usize) -> Result<(), Tl2Abort>;
+    fn peek(&mut self, addr: Addr) -> u64;
+}
+
+struct SimPair<'c> {
+    ctx: &'c mut Ctx<Tl2Shared>,
+    txns: [Tl2Txn; 2],
+}
+
+impl TxnPair for SimPair<'_> {
+    fn begin(&mut self, who: usize) {
+        self.txns[who].begin(self.ctx);
+    }
+    fn read(&mut self, who: usize, addr: Addr) -> Result<u64, Tl2Abort> {
+        self.txns[who].read(self.ctx, addr)
+    }
+    fn write(&mut self, who: usize, addr: Addr, value: u64) -> Result<(), Tl2Abort> {
+        self.txns[who].write(self.ctx, addr, value)
+    }
+    fn commit(&mut self, who: usize) -> Result<(), Tl2Abort> {
+        self.txns[who].commit(self.ctx)
+    }
+    fn peek(&mut self, addr: Addr) -> u64 {
+        self.ctx.with(|w| w.machine.peek(addr))
+    }
+}
+
+struct NativePair<'a> {
+    shared: &'a NativeTl2,
+    txns: [NativeTxn<'a>; 2],
+}
+
+impl TxnPair for NativePair<'_> {
+    fn begin(&mut self, who: usize) {
+        self.txns[who].begin();
+    }
+    fn read(&mut self, who: usize, addr: Addr) -> Result<u64, Tl2Abort> {
+        self.txns[who].read(addr)
+    }
+    fn write(&mut self, who: usize, addr: Addr, value: u64) -> Result<(), Tl2Abort> {
+        self.txns[who].write(addr, value)
+    }
+    fn commit(&mut self, who: usize) -> Result<(), Tl2Abort> {
+        self.txns[who].commit()
+    }
+    fn peek(&mut self, addr: Addr) -> u64 {
+        self.shared.peek(addr)
+    }
+}
+
+/// Runs `script` on the simulated TL2 (one logical thread driving two
+/// manual handles) and returns its event log.
+fn run_sim(script: fn(&mut dyn TxnPair) -> Vec<String>) -> Vec<String> {
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&out);
+    let machine = Machine::new(MachineConfig::table4(2));
+    let shared = Tl2Shared::new(Tl2Config::default(), Addr(1 << 20), LOCK_ENTRIES);
+    let body: ThreadFn<Tl2Shared> = Box::new(move |ctx: &mut Ctx<Tl2Shared>| {
+        let mut pair = SimPair {
+            ctx,
+            txns: [Tl2Txn::new(0), Tl2Txn::new(1)],
+        };
+        *sink.lock().unwrap() = script(&mut pair);
+    });
+    Sim::new(machine, shared).run(vec![body]);
+    Arc::try_unwrap(out).unwrap().into_inner().unwrap()
+}
+
+/// Runs `script` on the native TL2 and returns its event log.
+fn run_native(script: fn(&mut dyn TxnPair) -> Vec<String>) -> Vec<String> {
+    let shared = NativeTl2::new(1 << 15, LOCK_ENTRIES, 1 << 14);
+    let mut pair = NativePair {
+        txns: [NativeTxn::new(&shared, 0), NativeTxn::new(&shared, 1)],
+        shared: &shared,
+    };
+    script(&mut pair)
+}
+
+/// Asserts both substrates produce the identical event log, and returns
+/// it for script-specific spot checks.
+fn cross_validate(name: &str, script: fn(&mut dyn TxnPair) -> Vec<String>) -> Vec<String> {
+    let sim = run_sim(script);
+    let native = run_native(script);
+    assert_eq!(sim, native, "{name}: sim and native logs diverge");
+    assert!(!sim.is_empty(), "{name}: vacuous script");
+    sim
+}
+
+#[test]
+fn isolation_and_publication_agree() {
+    let log = cross_validate("isolation", |p| {
+        let mut ev = Vec::new();
+        p.begin(0);
+        ev.push(format!("a.read X pre: {:?}", p.read(0, X)));
+        ev.push(format!("a.write X=7: {:?}", p.write(0, X, 7)));
+        ev.push(format!("a.read own: {:?}", p.read(0, X)));
+        ev.push(format!("heap X before commit: {}", p.peek(X)));
+        p.begin(1);
+        ev.push(format!("b.read X (isolated): {:?}", p.read(1, X)));
+        ev.push(format!("b.commit: {:?}", p.commit(1)));
+        ev.push(format!("a.commit: {:?}", p.commit(0)));
+        ev.push(format!("heap X after commit: {}", p.peek(X)));
+        ev
+    });
+    assert!(log.contains(&"a.read own: Ok(7)".to_string()));
+    assert!(log.contains(&"heap X after commit: 7".to_string()));
+}
+
+#[test]
+fn stale_read_classification_agrees() {
+    let log = cross_validate("stale-read", |p| {
+        let mut ev = Vec::new();
+        p.begin(0); // A's rv predates B's commit
+        p.begin(1);
+        ev.push(format!("b.write X=42: {:?}", p.write(1, X, 42)));
+        ev.push(format!("b.commit: {:?}", p.commit(1)));
+        ev.push(format!("a.read X stale: {:?}", p.read(0, X)));
+        ev.push(format!("heap X: {}", p.peek(X)));
+        ev
+    });
+    assert!(
+        log.contains(&format!(
+            "a.read X stale: {:?}",
+            Err::<u64, _>(Tl2Abort::ReadValidation)
+        )),
+        "both sides must classify the stale read as ReadValidation: {log:?}"
+    );
+}
+
+#[test]
+fn commit_validation_classification_agrees() {
+    let log = cross_validate("commit-validation", |p| {
+        let y = distinct_stripe(1024);
+        let mut ev = Vec::new();
+        p.begin(0);
+        ev.push(format!("a.read X: {:?}", p.read(0, X)));
+        p.begin(1);
+        ev.push(format!("b.write X=9: {:?}", p.write(1, X, 9)));
+        ev.push(format!("b.commit: {:?}", p.commit(1)));
+        ev.push(format!("a.write Y=1: {:?}", p.write(0, y, 1)));
+        ev.push(format!("a.commit: {:?}", p.commit(0)));
+        ev.push(format!("heap X: {}", p.peek(X)));
+        ev.push(format!("heap Y: {}", p.peek(y)));
+        ev
+    });
+    assert!(
+        log.contains(&format!(
+            "a.commit: {:?}",
+            Err::<(), _>(Tl2Abort::CommitValidation)
+        )),
+        "both sides must classify the doomed commit as CommitValidation: {log:?}"
+    );
+    assert!(
+        log.contains(&"heap Y: 0".to_string()),
+        "aborted write leaked"
+    );
+}
+
+#[test]
+fn final_heaps_agree_after_a_deterministic_mix() {
+    // A serial pseudo-random mix of read-modify-write transactions over a
+    // small address range, alternating handles: no aborts, and the final
+    // heap must be word-identical across substrates.
+    cross_validate("deterministic-mix", |p| {
+        let addrs: Vec<Addr> = (0..16).map(|i| Addr(512 + i * 64)).collect();
+        let mut rng = 0xDEAD_BEEFu64;
+        for step in 0..200 {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let who = (step & 1) as usize;
+            let src = addrs[(rng % 16) as usize];
+            let dst = addrs[((rng >> 8) % 16) as usize];
+            p.begin(who);
+            let v = p.read(who, src).unwrap();
+            p.write(who, dst, v + (rng % 7) + 1).unwrap();
+            p.commit(who).unwrap();
+        }
+        let mut ev = Vec::new();
+        for &a in &addrs {
+            ev.push(format!("heap {}: {}", a.0, p.peek(a)));
+        }
+        ev
+    });
+}
+
+#[test]
+fn workload_results_agree_between_substrates() {
+    // End-to-end: the same backend-generic kmeans/ssca2 bodies verify
+    // against the same host-side replay on both substrates, and commit
+    // exactly the same number of transactions.
+    use ufotm_core::SystemKind;
+    use ufotm_stamp::harness::RunSpec;
+    use ufotm_stamp::{kmeans, ssca2};
+
+    let kp = kmeans::KmeansParams {
+        points: 96,
+        dims: 2,
+        clusters: 4,
+        iterations: 2,
+    };
+    let sim = kmeans::run(&RunSpec::new(SystemKind::Tl2, 4), &kp);
+    let native = kmeans::run_native(&RunSpec::native(4), &kp);
+    assert_eq!(sim.total_commits(), native.stats.commits);
+
+    let sp = ssca2::Ssca2Params {
+        nodes: 32,
+        edges: 120,
+    };
+    let sim = ssca2::run(&RunSpec::new(SystemKind::Tl2, 4), &sp);
+    let native = ssca2::run_native(&RunSpec::native(4), &sp);
+    assert_eq!(sim.total_commits(), native.stats.commits);
+}

@@ -38,7 +38,7 @@ fn same_seed_reports_are_byte_identical() {
     );
     assert!(a.report.hybrid.hw_commits > 0, "hardware commits happened");
     assert!(a.report.hybrid.sw_commits > 0, "failovers reached software");
-    assert!(ja.starts_with("{\"schema\":2,"), "schema field leads");
+    assert!(ja.starts_with("{\"schema\":3,"), "schema field leads");
     // Commit-path breakdown from the journal agrees with driver counters.
     let paths = &a.report.trace.commit_paths;
     assert_eq!(paths["hw"], a.report.hybrid.hw_commits);
