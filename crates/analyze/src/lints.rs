@@ -89,8 +89,9 @@ pub const HOST_EXEMPT: &[(&str, &str)] = &[
     ),
     (
         "native",
-        "host-atomics TL2 backend: real races and wall-clock timing are its product, \
-         not a contaminant",
+        "host-atomics backend (TL2 fast path, redo-log USTM slow path, mprotect \
+         strong-atomicity guard, failover hybrid driver): real races, raw signal \
+         handling, and wall-clock timing are its product, not a contaminant",
     ),
 ];
 

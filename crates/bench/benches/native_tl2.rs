@@ -9,19 +9,12 @@
 //! methodology; the sim-vs-native agreement itself is pinned by the
 //! `cross_validate` test suite, not here.
 
-use ufotm_bench::{header, quick, ArtifactWriter, HostMetrics};
+use ufotm_bench::{
+    check_native_baseline, header, native_thread_counts, quick, ArtifactWriter, HostMetrics,
+};
 use ufotm_stamp::harness::{NativeOutcome, RunSpec};
 use ufotm_stamp::kmeans::{self, KmeansParams};
 use ufotm_stamp::ssca2::{self, Ssca2Params};
-
-/// Thread counts swept (all real OS threads).
-fn native_threads() -> Vec<usize> {
-    if quick() {
-        vec![1, 4]
-    } else {
-        vec![1, 2, 4, 8]
-    }
-}
 
 fn ops_per_sec(out: &NativeOutcome, host: HostMetrics) -> f64 {
     out.ops as f64 * 1e9 / host.ns.max(1) as f64
@@ -71,7 +64,7 @@ fn main() {
     };
 
     println!();
-    for &threads in &native_threads() {
+    for &threads in &native_thread_counts() {
         record(
             &mut art,
             "kmeans-high-contention".to_string(),
@@ -80,7 +73,7 @@ fn main() {
         );
     }
     println!();
-    for &threads in &native_threads() {
+    for &threads in &native_thread_counts() {
         record(
             &mut art,
             "ssca2".to_string(),
@@ -90,4 +83,5 @@ fn main() {
     }
 
     art.finish();
+    check_native_baseline(art.metrics());
 }

@@ -44,27 +44,17 @@ fn handoff_run(mode: HandoffMode, ops: u64) -> HostMetrics {
     host
 }
 
-/// Extracts the `"ns_per_cycle"` value from a baseline JSON file without a
-/// JSON dependency.
-fn parse_ns_per_cycle(json: &str) -> Option<f64> {
-    let key = "\"ns_per_cycle\"";
-    let rest = &json[json.find(key)? + key.len()..];
-    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 /// Enforces the committed-baseline regression gate when armed.
 fn check_baseline(measured: f64) {
     let Ok(path) = std::env::var("UFOTM_PERF_BASELINE") else {
         println!("(UFOTM_PERF_BASELINE unset: regression gate skipped)");
         return;
     };
+    let path = ufotm_bench::resolve_baseline_path(&path);
     let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("reading perf baseline {path}: {e}"));
-    let baseline = parse_ns_per_cycle(&text).unwrap_or_else(|| panic!("no ns_per_cycle in {path}"));
+        .unwrap_or_else(|e| panic!("reading perf baseline {}: {e}", path.display()));
+    let baseline = ufotm_bench::parse_json_number(&text, "ns_per_cycle")
+        .unwrap_or_else(|| panic!("no ns_per_cycle in {}", path.display()));
     let limit = baseline * 3.0;
     println!(
         "regression gate: measured {measured:.3} ns/cycle vs baseline {baseline:.3} (limit {limit:.3})"

@@ -44,6 +44,100 @@ pub fn thread_counts() -> Vec<usize> {
     }
 }
 
+/// The thread counts the native (real-OS-thread) benches sweep: 1–16,
+/// capped at the host's available cores so oversubscribed cells don't
+/// report scheduler noise as backend throughput. Quick mode shrinks the
+/// sweep the same way the simulated figures do.
+#[must_use]
+pub fn native_thread_counts() -> Vec<usize> {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let sweep: &[usize] = if quick() { &[1, 4] } else { &[1, 2, 4, 8, 16] };
+    let capped: Vec<usize> = sweep.iter().copied().filter(|&t| t <= cores).collect();
+    if capped.is_empty() {
+        vec![1]
+    } else {
+        capped
+    }
+}
+
+/// Extracts a numeric value for `key` from a flat JSON object without a
+/// JSON dependency (the same trick the perf-wallclock baseline uses).
+#[must_use]
+pub fn parse_json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let rest = &json[json.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Resolves a baseline file path from a gate env var. Cargo runs bench
+/// binaries with the *package* directory as CWD, while CI and humans
+/// pass workspace-root-relative paths like
+/// `crates/bench/perf_baseline.json` — so a relative path that doesn't
+/// resolve as given is retried against the workspace root.
+#[must_use]
+pub fn resolve_baseline_path(path: &str) -> std::path::PathBuf {
+    let p = std::path::PathBuf::from(path);
+    if p.is_absolute() || p.exists() {
+        return p;
+    }
+    let alt = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(path);
+    if alt.exists() {
+        alt
+    } else {
+        p
+    }
+}
+
+/// Enforces the committed native-throughput baseline when armed.
+///
+/// `$UFOTM_NATIVE_BASELINE` names a JSON file mapping metric keys (the
+/// same `"<label>/<threads>T/ops_per_sec"` keys the native benches emit)
+/// to committed ops/sec floors. Each measured metric present in the
+/// baseline must reach at least a third of its committed value —
+/// generous, like the simulator's ns/cycle gate, so runner noise
+/// passes but an order-of-magnitude backend regression fails CI. Keys
+/// absent from the baseline (e.g. thread counts the baseline host did
+/// not have) are skipped.
+///
+/// # Panics
+///
+/// Panics if the baseline file is unreadable, or if any measured metric
+/// falls below a third of its committed floor.
+pub fn check_native_baseline(metrics: &[(String, f64)]) {
+    let Ok(path) = std::env::var("UFOTM_NATIVE_BASELINE") else {
+        println!("(UFOTM_NATIVE_BASELINE unset: native throughput gate skipped)");
+        return;
+    };
+    let path = resolve_baseline_path(&path);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading native baseline {}: {e}", path.display()));
+    let mut checked = 0;
+    for (key, measured) in metrics {
+        let Some(baseline) = parse_json_number(&text, key) else {
+            continue;
+        };
+        let floor = baseline / 3.0;
+        println!("native gate: {key} measured {measured:.0} ops/s vs floor {floor:.0} (baseline {baseline:.0})");
+        assert!(
+            *measured >= floor,
+            "native throughput regression: {key} measured {measured:.0} ops/s, \
+             below a third of the committed baseline {baseline:.0} \
+             (see crates/bench/native_baseline.json)"
+        );
+        checked += 1;
+    }
+    println!(
+        "native throughput gate: {checked} metric(s) checked against {}",
+        path.display()
+    );
+}
+
 /// The systems plotted in Figure 5, in the paper's legend order.
 #[must_use]
 pub fn fig5_systems() -> Vec<SystemKind> {
@@ -286,6 +380,13 @@ impl ArtifactWriter {
             report: None,
             host: Some(host),
         });
+    }
+
+    /// The scalar metrics recorded so far (push order) — what the native
+    /// throughput gate checks against its committed baseline.
+    #[must_use]
+    pub fn metrics(&self) -> &[(String, f64)] {
+        &self.metrics
     }
 
     /// Number of runs recorded so far.

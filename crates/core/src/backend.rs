@@ -110,6 +110,25 @@ pub trait TmBackend {
 
     /// Number of participating threads.
     fn threads(&self) -> usize;
+
+    /// Requests that the *next* transaction on this thread take the
+    /// slow/failover path, if the backend has one. Test and
+    /// cross-validation hook; single-path backends ignore it.
+    fn force_failover_next(&mut self) {}
+
+    /// `(fast, slow)` commit counts so far for this thread, for hybrid
+    /// backends that split commits across a fast and a slow path.
+    /// Single-path backends report everything as fast… which is the
+    /// default `(0, 0)` unless overridden.
+    fn commit_counts(&mut self) -> (u64, u64) {
+        (0, 0)
+    }
+
+    /// Number of fast→slow failovers taken so far on this thread
+    /// (hybrid backends only; defaults to 0).
+    fn failovers(&mut self) -> u64 {
+        0
+    }
 }
 
 /// Which substrate a run executes on; carried by the stamp harness's
@@ -121,6 +140,9 @@ pub enum BackendKind {
     Simulated,
     /// Host-atomics TL2 on real OS threads (`ufotm-native`).
     NativeTl2,
+    /// Host-atomics hybrid: TL2 fast path failing over to a
+    /// strongly-atomic USTM slow path (`ufotm-native`).
+    NativeHybrid,
 }
 
 impl BackendKind {
@@ -130,6 +152,7 @@ impl BackendKind {
         match self {
             BackendKind::Simulated => "simulated",
             BackendKind::NativeTl2 => "native-tl2",
+            BackendKind::NativeHybrid => "native-hybrid",
         }
     }
 }
@@ -270,5 +293,19 @@ mod tests {
         assert_eq!(BackendKind::default(), BackendKind::Simulated);
         assert_eq!(BackendKind::Simulated.label(), "simulated");
         assert_eq!(BackendKind::NativeTl2.label(), "native-tl2");
+        assert_eq!(BackendKind::NativeHybrid.label(), "native-hybrid");
+    }
+
+    #[test]
+    fn failover_hooks_default_to_single_path_noops() {
+        let mut b = VecBackend {
+            words: vec![0; 8],
+            next_free: 4,
+            forced_stops: 0,
+        };
+        b.force_failover_next(); // must be a harmless no-op
+        increment_n(&mut b, Addr(8), 1);
+        assert_eq!(b.commit_counts(), (0, 0));
+        assert_eq!(b.failovers(), 0);
     }
 }

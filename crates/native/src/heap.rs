@@ -1,0 +1,163 @@
+//! The native word heap: boxed atomics, or — when the mprotect guard is
+//! available — a dual-mapped region whose public view can be
+//! page-protected during USTM commit windows.
+//!
+//! All transactional and plain accesses in the crate go through
+//! [`WordHeap`]. The two storage shapes present the same word-indexed
+//! `AtomicU64` interface; the only semantic difference is that the
+//! mapped shape distinguishes the *public* view (plain accesses, TL2)
+//! from the *shadow* view (USTM write-back, which must not fault inside
+//! its own commit window).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::guard::{self, GuardStats};
+
+#[cfg(all(
+    feature = "mprotect-guard",
+    target_os = "linux",
+    target_arch = "x86_64"
+))]
+use crate::guard::DualMapping;
+
+/// Word-addressed shared storage for a native TM heap.
+#[derive(Debug)]
+pub(crate) enum WordHeap {
+    /// Plain boxed atomics: no guard, identical public/shadow views.
+    Boxed(Box<[AtomicU64]>),
+    /// Dual-mapped guardable storage.
+    #[cfg(all(
+        feature = "mprotect-guard",
+        target_os = "linux",
+        target_arch = "x86_64"
+    ))]
+    Mapped(DualMapping),
+}
+
+/// An open strong-atomicity commit window (no-op on boxed storage).
+/// Dropping it lifts the page protection.
+#[derive(Debug)]
+pub(crate) struct CommitWindow<'a> {
+    #[cfg(all(
+        feature = "mprotect-guard",
+        target_os = "linux",
+        target_arch = "x86_64"
+    ))]
+    _win: Option<guard::Window<'a>>,
+    _heap: std::marker::PhantomData<&'a WordHeap>,
+}
+
+impl WordHeap {
+    /// Builds storage for `words` words, preferring the guardable dual
+    /// mapping when [`guard::available`] and falling back to boxed
+    /// atomics otherwise.
+    pub(crate) fn new(words: u64) -> Self {
+        #[cfg(all(
+            feature = "mprotect-guard",
+            target_os = "linux",
+            target_arch = "x86_64"
+        ))]
+        if guard::available() {
+            if let Some(m) = DualMapping::new(words as usize * 8) {
+                return WordHeap::Mapped(m);
+            }
+        }
+        WordHeap::Boxed((0..words).map(|_| AtomicU64::new(0)).collect())
+    }
+
+    /// The public view of word `w` — what plain accesses and the TL2
+    /// fast path touch; faults during a commit window.
+    #[inline]
+    pub(crate) fn word(&self, w: usize) -> &AtomicU64 {
+        match self {
+            WordHeap::Boxed(b) => &b[w],
+            #[cfg(all(
+                feature = "mprotect-guard",
+                target_os = "linux",
+                target_arch = "x86_64"
+            ))]
+            WordHeap::Mapped(m) => m.word(w),
+        }
+    }
+
+    /// The shadow view of word `w` — the USTM commit path; never
+    /// protected. Identical to [`WordHeap::word`] on boxed storage.
+    #[inline]
+    pub(crate) fn shadow_word(&self, w: usize) -> &AtomicU64 {
+        match self {
+            WordHeap::Boxed(b) => &b[w],
+            #[cfg(all(
+                feature = "mprotect-guard",
+                target_os = "linux",
+                target_arch = "x86_64"
+            ))]
+            WordHeap::Mapped(m) => m.shadow_word(w),
+        }
+    }
+
+    /// Convenience: `Acquire` load of the public view.
+    pub(crate) fn load(&self, w: usize) -> u64 {
+        self.word(w).load(Ordering::Acquire)
+    }
+
+    /// Convenience: `Release` store to the public view.
+    pub(crate) fn store(&self, w: usize, v: u64) {
+        self.word(w).store(v, Ordering::Release);
+    }
+
+    /// Opens a strong-atomicity window over the pages containing
+    /// `word_idxs`. A no-op handle on boxed storage (the guard then
+    /// rests on the hybrid's fast-path quiescence alone).
+    pub(crate) fn open_window(&self, word_idxs: impl Iterator<Item = usize>) -> CommitWindow<'_> {
+        match self {
+            WordHeap::Boxed(_) => {
+                let _ = word_idxs;
+                CommitWindow {
+                    #[cfg(all(
+                        feature = "mprotect-guard",
+                        target_os = "linux",
+                        target_arch = "x86_64"
+                    ))]
+                    _win: None,
+                    _heap: std::marker::PhantomData,
+                }
+            }
+            #[cfg(all(
+                feature = "mprotect-guard",
+                target_os = "linux",
+                target_arch = "x86_64"
+            ))]
+            WordHeap::Mapped(m) => CommitWindow {
+                _win: Some(m.open_window(word_idxs)),
+                _heap: std::marker::PhantomData,
+            },
+        }
+    }
+
+    /// Guard counters for this heap (all-zero/unguarded on boxed
+    /// storage).
+    pub(crate) fn guard_stats(&self) -> GuardStats {
+        match self {
+            WordHeap::Boxed(_) => GuardStats::default(),
+            #[cfg(all(
+                feature = "mprotect-guard",
+                target_os = "linux",
+                target_arch = "x86_64"
+            ))]
+            WordHeap::Mapped(m) => m.stats(),
+        }
+    }
+
+    /// Byte offset of the most recent classified guard fault, if any.
+    pub(crate) fn last_fault_offset(&self) -> Option<usize> {
+        match self {
+            WordHeap::Boxed(_) => None,
+            #[cfg(all(
+                feature = "mprotect-guard",
+                target_os = "linux",
+                target_arch = "x86_64"
+            ))]
+            WordHeap::Mapped(m) => m.last_fault_offset(),
+        }
+    }
+}

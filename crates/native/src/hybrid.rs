@@ -1,0 +1,445 @@
+//! The native hybrid: TL2 fast path, USTM slow path, PhTM-style mode
+//! gate, and abort-count failover — the real-thread rendition of the
+//! simulated `HybridTm` driver.
+//!
+//! Each [`HybridThread`] runs transactions on the TL2 fast path
+//! ([`NativeTxn`]) until `failover_after` consecutive aborts (with
+//! jittered exponential backoff between attempts, the policy shape of
+//! `ufotm_core::HybridPolicy`), then executes **one** transaction on the
+//! USTM slow path ([`NativeUstmTxn`]) and returns to the fast path.
+//!
+//! ## The mode gate
+//!
+//! TL2 never consults the USTM ownership table, so a fast-path
+//! transaction racing a slow-path commit would be invisible to USTM's
+//! conflict detection. The hybrid therefore phase-gates the two paths
+//! (PhTM-style — fast transactions subscribe to a slow-mode stop word,
+//! like the simulated hardware path subscribing to the serial gate):
+//!
+//! * A fast transaction registers in `fast_inflight`, then checks
+//!   `slow_mode`; if a slow transaction is pending it deregisters and
+//!   spin-yields until the mode clears.
+//! * A slow transaction raises `slow_mode`, then waits for
+//!   `fast_inflight` to drain before running. Multiple slow
+//!   transactions run concurrently — USTM's ownership table is the
+//!   concurrency control within the slow mode.
+//!
+//! The gate also closes the plain-access hole the `mprotect` guard
+//! cannot cover on unguarded (boxed/TSan) heaps: with the fast path
+//! quiesced, the only code touching USTM-written lines during a slow
+//! commit is USTM itself.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use ufotm_core::{Stop, TmBackend, TxScope};
+use ufotm_machine::Addr;
+use ufotm_ustm::UstmAbort;
+
+use crate::guard::GuardStats;
+use crate::tl2::{spin_work, NativeStats, NativeTl2, NativeTxn};
+use crate::ustm::{NativeUstm, NativeUstmStats, NativeUstmTxn};
+
+/// Failover/backoff policy for the native hybrid — the same shape as
+/// the simulated `HybridPolicy`'s retry knobs, with jitter on by
+/// default (real threads, unlike sim CPUs, gain nothing from
+/// deterministic lockstep backoff).
+#[derive(Clone, Copy, Debug)]
+pub struct NativeHybridPolicy {
+    /// Consecutive fast-path aborts before one slow-path execution.
+    pub failover_after: u32,
+    /// Base spin units for fast-path retry backoff.
+    pub backoff_base: u64,
+    /// Backoff doubles per abort up to `base << cap`.
+    pub backoff_cap_exp: u32,
+    /// ± percentage of random jitter applied to each backoff.
+    pub backoff_jitter_pct: u64,
+}
+
+impl Default for NativeHybridPolicy {
+    fn default() -> Self {
+        NativeHybridPolicy {
+            failover_after: 4,
+            backoff_base: 50,
+            backoff_cap_exp: 7,
+            backoff_jitter_pct: 25,
+        }
+    }
+}
+
+/// Shared native hybrid state: the TL2 world (which owns the word
+/// heap), the USTM ownership table, and the mode gate.
+#[derive(Debug)]
+pub struct NativeHybrid {
+    tl2: NativeTl2,
+    ustm: NativeUstm,
+    /// Count of slow-path transactions pending or running.
+    slow_mode: AtomicU64,
+    /// Count of fast-path transactions currently executing.
+    fast_inflight: AtomicU64,
+    policy: NativeHybridPolicy,
+}
+
+impl NativeHybrid {
+    /// Creates hybrid state: a TL2 world of `heap_words` /
+    /// `lock_entries` / `alloc_base_word` (see [`NativeTl2::new`]) plus
+    /// a USTM ownership table of `otable_bins` bins with status slots
+    /// for `threads`.
+    #[must_use]
+    pub fn new(
+        heap_words: u64,
+        lock_entries: u64,
+        alloc_base_word: u64,
+        threads: usize,
+        otable_bins: u64,
+        policy: NativeHybridPolicy,
+    ) -> Self {
+        NativeHybrid {
+            tl2: NativeTl2::new(heap_words, lock_entries, alloc_base_word),
+            ustm: NativeUstm::new(threads, otable_bins),
+            slow_mode: AtomicU64::new(0),
+            fast_inflight: AtomicU64::new(0),
+            policy,
+        }
+    }
+
+    /// The underlying TL2 world (heap host) — for setup/verify peeks
+    /// and pokes and the debug guard scaffolding.
+    #[must_use]
+    pub fn tl2(&self) -> &NativeTl2 {
+        &self.tl2
+    }
+
+    /// The USTM ownership table — test observability.
+    #[must_use]
+    pub fn ustm(&self) -> &NativeUstm {
+        &self.ustm
+    }
+
+    /// Plain (non-transactional) load; see [`NativeTl2::peek`].
+    #[must_use]
+    pub fn peek(&self, addr: Addr) -> u64 {
+        self.tl2.peek(addr)
+    }
+
+    /// Plain (non-transactional) store; see [`NativeTl2::poke`].
+    pub fn poke(&self, addr: Addr, value: u64) {
+        self.tl2.poke(addr, value);
+    }
+
+    /// Host-side allocation from the shared bump allocator.
+    #[must_use]
+    pub fn host_alloc(&self, words: u64) -> Addr {
+        self.tl2.host_alloc(words)
+    }
+
+    /// Guard counters for the shared heap.
+    #[must_use]
+    pub fn guard_stats(&self) -> GuardStats {
+        self.tl2.guard_stats()
+    }
+}
+
+/// Merged per-thread hybrid counters: fast-path TL2 stats, slow-path
+/// USTM stats, and failover accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HybridStats {
+    /// TL2 fast-path counters.
+    pub fast: NativeStats,
+    /// USTM slow-path counters.
+    pub slow: NativeUstmStats,
+    /// Transactions that failed over to the slow path after
+    /// `failover_after` consecutive fast aborts.
+    pub failovers: u64,
+    /// Failovers injected by [`HybridThread::force_failover_next`]
+    /// (test/cross-validation scaffolding).
+    pub forced_failovers: u64,
+}
+
+impl HybridStats {
+    /// Transactions committed on either path.
+    #[must_use]
+    pub fn total_commits(&self) -> u64 {
+        self.fast.commits + self.slow.commits
+    }
+
+    /// Total aborts on either path.
+    #[must_use]
+    pub fn total_aborts(&self) -> u64 {
+        self.fast.total_aborts() + self.slow.total_aborts()
+    }
+
+    /// Folds another thread's counters into this one. Exhaustive
+    /// destructuring: adding a field without summing it here is a
+    /// compile error.
+    pub fn merge(&mut self, other: &HybridStats) {
+        let HybridStats {
+            fast,
+            slow,
+            failovers,
+            forced_failovers,
+        } = *other;
+        self.fast.merge(&fast);
+        self.slow.merge(&slow);
+        self.failovers += failovers;
+        self.forced_failovers += forced_failovers;
+    }
+}
+
+/// One OS thread's hybrid backend handle: a fast-path and a slow-path
+/// transaction handle over the shared state, implementing
+/// [`TmBackend`] so backend-generic workloads run on the hybrid
+/// unchanged.
+#[derive(Debug)]
+pub struct HybridThread<'a> {
+    shared: &'a NativeHybrid,
+    fast: NativeTxn<'a>,
+    slow: NativeUstmTxn<'a>,
+    barrier: Option<&'a Barrier>,
+    tid: usize,
+    threads: usize,
+    force_slow: bool,
+    failovers: u64,
+    forced_failovers: u64,
+    rng: u64,
+}
+
+impl<'a> HybridThread<'a> {
+    /// Creates the handle for thread `tid` of `threads`. `barrier` is
+    /// the shared phase barrier; pass `None` for single-threaded
+    /// protocol scripts that never call [`TmBackend::barrier`].
+    #[must_use]
+    pub fn new(
+        shared: &'a NativeHybrid,
+        barrier: Option<&'a Barrier>,
+        tid: usize,
+        threads: usize,
+    ) -> Self {
+        HybridThread {
+            shared,
+            fast: NativeTxn::new(&shared.tl2, tid),
+            slow: NativeUstmTxn::new(&shared.tl2, &shared.ustm, tid),
+            barrier,
+            tid,
+            threads,
+            force_slow: false,
+            failovers: 0,
+            forced_failovers: 0,
+            rng: 0x9E37_79B9_7F4A_7C15 ^ ((tid as u64 + 1) << 17),
+        }
+    }
+
+    /// Makes the next [`TmBackend::transaction`] on this handle run on
+    /// the USTM slow path regardless of abort counts — deterministic
+    /// failover for tests and cross-validation scripts (the native
+    /// mirror of the simulated driver's forced failover hook).
+    pub fn force_failover_next(&mut self) {
+        self.force_slow = true;
+    }
+
+    /// This handle's merged counters.
+    #[must_use]
+    pub fn stats(&self) -> HybridStats {
+        HybridStats {
+            fast: self.fast.stats,
+            slow: self.slow.stats,
+            failovers: self.failovers,
+            forced_failovers: self.forced_failovers,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64; per-thread seed, jitter only (no fairness claims).
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// Jittered exponential backoff between fast-path retries
+    /// (`base << min(n, cap)` ± `jitter_pct`%, the `HybridPolicy`
+    /// schedule with jitter).
+    fn backoff(&mut self, consecutive: u32) {
+        let p = self.shared.policy;
+        let base = p.backoff_base << consecutive.min(p.backoff_cap_exp);
+        let spin = if p.backoff_jitter_pct == 0 {
+            base
+        } else {
+            let span = base * p.backoff_jitter_pct / 100;
+            base - span + self.next_rand() % (2 * span + 1)
+        };
+        spin_work(spin);
+        std::thread::yield_now();
+    }
+
+    /// Registers a fast-path transaction, quiescing while any slow-path
+    /// transaction is pending (the PhTM-style stop-word subscription).
+    fn enter_fast(&self) {
+        loop {
+            self.shared.fast_inflight.fetch_add(1, Ordering::SeqCst);
+            if self.shared.slow_mode.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            self.shared.fast_inflight.fetch_sub(1, Ordering::SeqCst);
+            while self.shared.slow_mode.load(Ordering::SeqCst) != 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn exit_fast(&self) {
+        self.shared.fast_inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// One fast-path attempt; `Some(r)` on commit.
+    fn try_fast<R>(
+        &mut self,
+        body: &mut impl FnMut(&mut dyn TxScope) -> Result<R, Stop>,
+    ) -> Option<R> {
+        self.enter_fast();
+        self.fast.begin();
+        let committed = match body(&mut self.fast) {
+            Ok(r) => self.fast.commit().is_ok().then_some(r),
+            Err(Stop) => {
+                if self.fast.is_active() {
+                    self.fast.drop_attempt();
+                }
+                None
+            }
+        };
+        self.exit_fast();
+        committed
+    }
+
+    /// Runs one transaction to commit on the USTM slow path: raise the
+    /// mode, drain the fast path, retry the body under USTM until it
+    /// commits, release the mode.
+    fn run_slow<R>(&mut self, body: &mut impl FnMut(&mut dyn TxScope) -> Result<R, Stop>) -> R {
+        self.shared.slow_mode.fetch_add(1, Ordering::SeqCst);
+        while self.shared.fast_inflight.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+        let r = loop {
+            self.slow.begin();
+            match body(&mut self.slow) {
+                Ok(r) => match self.slow.commit() {
+                    Ok(()) => break r,
+                    Err(UstmAbort::Killed { .. }) => self.slow.wait_for_killer(),
+                    Err(_) => {}
+                },
+                Err(Stop) => {
+                    if self.slow.is_active() {
+                        // The body surfaced a hand-made Stop with the
+                        // attempt still live: roll it back and retry.
+                        let _ = self.slow.abort_explicit();
+                    } else {
+                        // Protocol abort (killed): pause behind the
+                        // killer before retrying.
+                        self.slow.wait_for_killer();
+                    }
+                }
+            }
+        };
+        self.shared.slow_mode.fetch_sub(1, Ordering::SeqCst);
+        r
+    }
+}
+
+impl TmBackend for HybridThread<'_> {
+    fn transaction<R>(&mut self, mut body: impl FnMut(&mut dyn TxScope) -> Result<R, Stop>) -> R {
+        let mut consecutive = 0u32;
+        loop {
+            if self.force_slow || consecutive >= self.shared.policy.failover_after {
+                let forced = std::mem::take(&mut self.force_slow);
+                let r = self.run_slow(&mut body);
+                self.failovers += 1;
+                if forced {
+                    self.forced_failovers += 1;
+                }
+                return r;
+            }
+            if let Some(r) = self.try_fast(&mut body) {
+                return r;
+            }
+            consecutive += 1;
+            self.backoff(consecutive);
+        }
+    }
+
+    fn plain_load(&mut self, addr: Addr) -> u64 {
+        self.shared.tl2.peek(addr)
+    }
+
+    fn plain_store(&mut self, addr: Addr, value: u64) {
+        self.shared.tl2.poke(addr, value);
+    }
+
+    fn compute(&mut self, cycles: u64) {
+        spin_work(cycles);
+    }
+
+    fn barrier(&mut self) {
+        self.barrier
+            .expect("this hybrid handle has no phase barrier")
+            .wait();
+    }
+
+    fn tid(&self) -> usize {
+        self.tid
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn force_failover_next(&mut self) {
+        HybridThread::force_failover_next(self);
+    }
+
+    fn commit_counts(&mut self) -> (u64, u64) {
+        (self.fast.stats.commits, self.slow.stats.commits)
+    }
+
+    fn failovers(&mut self) -> u64 {
+        self.failovers
+    }
+}
+
+/// Runs `body` on `threads` real OS threads over `shared`, each with
+/// its own [`HybridThread`] handle and a common phase barrier. Returns
+/// the merged stats and each thread's result (in tid order).
+///
+/// # Panics
+///
+/// Propagates worker panics (verification failures, heap exhaustion).
+pub fn run_hybrid_threads<R: Send>(
+    shared: &NativeHybrid,
+    threads: usize,
+    body: impl Fn(&mut HybridThread<'_>) -> R + Sync,
+) -> (HybridStats, Vec<R>) {
+    assert!(threads >= 1, "at least one thread");
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let barrier = &barrier;
+                let body = &body;
+                scope.spawn(move || {
+                    let mut th = HybridThread::new(shared, Some(barrier), tid, threads);
+                    let r = body(&mut th);
+                    (th.stats(), r)
+                })
+            })
+            .collect();
+        let mut stats = HybridStats::default();
+        let mut results = Vec::with_capacity(threads);
+        for h in handles {
+            let (s, r) = h.join().expect("hybrid worker thread panicked");
+            stats.merge(&s);
+            results.push(r);
+        }
+        (stats, results)
+    })
+}

@@ -23,6 +23,11 @@ pub struct SimBackend<'a> {
     ctx: &'a mut Ctx<StampWorld>,
     tid: usize,
     threads: usize,
+    /// Set by [`TmBackend::force_failover_next`]: the next transaction
+    /// calls [`Tx::force_failover`] on every attempt, so its hardware
+    /// attempt aborts and the driver's retry machinery fails it over to
+    /// software (subsequent software attempts are no-ops).
+    force_next: bool,
 }
 
 impl<'a> SimBackend<'a> {
@@ -39,6 +44,7 @@ impl<'a> SimBackend<'a> {
             ctx,
             tid,
             threads,
+            force_next: false,
         }
     }
 }
@@ -81,7 +87,11 @@ impl TxScope for SimScope<'_, '_> {
 
 impl TmBackend for SimBackend<'_> {
     fn transaction<R>(&mut self, mut body: impl FnMut(&mut dyn TxScope) -> Result<R, Stop>) -> R {
+        let force = std::mem::take(&mut self.force_next);
         self.t.transaction(self.ctx, |tx, ctx| {
+            if force {
+                tx.force_failover(ctx)?;
+            }
             let mut scope = SimScope {
                 tx,
                 ctx,
@@ -119,5 +129,28 @@ impl TmBackend for SimBackend<'_> {
 
     fn threads(&self) -> usize {
         self.threads
+    }
+
+    fn force_failover_next(&mut self) {
+        self.force_next = true;
+    }
+
+    fn commit_counts(&mut self) -> (u64, u64) {
+        // Fast path = hardware commits; slow path = everything the driver
+        // fell back to (software STM, the lock, serial mode). The counters
+        // are world-global, so per-thread deltas are only meaningful in
+        // single-threaded scripts — which is what the cross-validation
+        // suite runs.
+        self.ctx.with(|w| {
+            let s = &w.shared.tm.stats;
+            (
+                s.hw_commits,
+                s.sw_commits + s.lock_commits + s.serial_commits,
+            )
+        })
+    }
+
+    fn failovers(&mut self) -> u64 {
+        self.ctx.with(|w| w.shared.tm.stats.total_failovers())
     }
 }

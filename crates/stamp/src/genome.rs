@@ -7,12 +7,22 @@
 //! every younger reader of the written prefix, making genome the stress
 //! test for robust contention management and the source of its periodic
 //! cache overflows (long prefixes overflow the L1).
+//!
+//! The workload is written once against [`TmBackend`] and runs on both
+//! substrates: [`run`] on the simulated machine (cycle-charged,
+//! deterministic), [`run_native`] on host atomics — TL2-only or the
+//! failover hybrid, per `spec.backend`.
 
-use ufotm_machine::{Addr, Machine, PlainAccess};
+use ufotm_core::{BackendKind, TmBackend};
+use ufotm_machine::{Addr, Machine};
 
-use crate::harness::{chunk, run_workload, RunOutcome, RunSpec, STATIC_BASE};
-use crate::structures::{HashSet, SortedList};
-use crate::world::{Barrier, StampWorld};
+use crate::backend::SimBackend;
+use crate::harness::{
+    chunk, native_heap, native_hybrid_world, run_native_hybrid_workload, run_native_workload,
+    run_workload, NativeOutcome, RunOutcome, RunSpec, STATIC_BASE,
+};
+use crate::structures::{HashSet, Peek, SortedList};
+use crate::world::StampWorld;
 
 /// genome parameters.
 #[derive(Clone, Copy, Debug)]
@@ -43,6 +53,27 @@ impl GenomeParams {
     fn list_head(&self) -> Addr {
         self.set_base().add_words(self.buckets)
     }
+
+    /// One past the last static byte (for native heap sizing): the
+    /// bucket array plus the list-head word.
+    fn static_end(&self) -> Addr {
+        self.list_head().add_words(1)
+    }
+
+    /// Transactional-allocation headroom for native heaps: one node per
+    /// raw segment in each of the two structures, with slack.
+    fn native_alloc_words(&self) -> u64 {
+        (self.segments as u64 * 2 + 64) * 8
+    }
+
+    /// The number of distinct segments the seed produces — deterministic,
+    /// so both the ops count and the verifier know it up front.
+    fn distinct_segments(&self, seed: u64) -> Vec<u64> {
+        let mut all: Vec<u64> = (0..self.segments).map(|i| segment(seed, i)).collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
 }
 
 fn segment(seed: u64, i: usize) -> u64 {
@@ -55,12 +86,75 @@ fn segment(seed: u64, i: usize) -> u64 {
     (x % (1 << 16)) % 977 + (x % 7) * 1000 + 1 // never 0 (0 = null key)
 }
 
-/// Runs genome under `spec`.
+/// One thread's whole run, written once against the backend traits.
+fn phase_body<B: TmBackend>(b: &mut B, p: GenomeParams, seed: u64) {
+    let set = HashSet::new(p.set_base(), p.buckets);
+    let list = SortedList::new(p.list_head());
+    let (start, end) = chunk(p.segments, b.threads(), b.tid());
+    // Phase 1: de-duplicate into the hash set. Remember which keys
+    // *we* inserted first — exactly those are ours to assemble.
+    let mut mine = Vec::new();
+    for i in start..end {
+        let key = segment(seed, i);
+        let fresh = b.transaction(|tx| set.insert(tx, key));
+        if fresh {
+            mine.push(key);
+        }
+        b.compute(30);
+    }
+    b.barrier();
+    // Phase 2: sorted assembly (the contention stress).
+    for key in mine {
+        let inserted = b.transaction(|tx| list.insert(tx, key, key ^ 1));
+        assert!(inserted, "key {key} was uniquely ours");
+        b.compute(20);
+    }
+    b.barrier();
+    // Phase 3: matching — read-mostly probes against the set (the
+    // bulk of STAMP genome's runtime; embarrassingly parallel).
+    for i in start..end {
+        let key = segment(seed, i);
+        let probes = [key, key ^ 3, key.wrapping_add(17)];
+        let hits = b.transaction(|tx| {
+            let mut hits = 0u64;
+            for p in probes {
+                if set.contains(tx, p)? {
+                    hits += 1;
+                }
+            }
+            Ok(hits)
+        });
+        assert!(hits >= 1, "own segment must be present");
+        b.compute(120);
+    }
+}
+
+/// Host-side verification, shared by both substrates: the final list must
+/// contain exactly the distinct segments, in sorted order, and the hash
+/// set must agree.
+fn check_final(p: GenomeParams, seed: u64, peek: &Peek<'_>) {
+    let set = HashSet::new(p.set_base(), p.buckets);
+    let list = SortedList::new(p.list_head());
+    let expected = p.distinct_segments(seed);
+    let keys = list.peek_keys(peek);
+    assert!(
+        keys.windows(2).all(|w| w[0] < w[1]),
+        "list must be strictly sorted"
+    );
+    assert_eq!(
+        keys, expected,
+        "list contents diverge from the distinct segments"
+    );
+    let mut set_keys = set.peek_all(peek);
+    set_keys.sort_unstable();
+    assert_eq!(set_keys, expected, "hash set contents diverge");
+}
+
+/// Runs genome under `spec` on the simulated machine.
 ///
 /// # Panics
 ///
-/// Panics if verification fails: the final list must contain exactly the
-/// distinct segments, in sorted order, and the hash set must agree.
+/// Panics if verification fails (see `check_final`'s invariants).
 pub fn run(spec: &RunSpec, params: &GenomeParams) -> RunOutcome {
     let p = *params;
     let seed = spec.seed;
@@ -72,69 +166,52 @@ pub fn run(spec: &RunSpec, params: &GenomeParams) -> RunOutcome {
 
     let make_body = move |tid: usize| -> crate::harness::WorkBody {
         Box::new(move |t, ctx| {
-            let set = HashSet::new(p.set_base(), p.buckets);
-            let list = SortedList::new(p.list_head());
-            let (start, end) = chunk(p.segments, threads, tid);
-            // Phase 1: de-duplicate into the hash set. Remember which keys
-            // *we* inserted first — exactly those are ours to assemble.
-            let mut mine = Vec::new();
-            for i in start..end {
-                let key = segment(seed, i);
-                let fresh = t.transaction(ctx, |tx, ctx| set.insert(tx, ctx, key));
-                if fresh {
-                    mine.push(key);
-                }
-                ctx.work(30).plain("segment prep");
-            }
-            Barrier::wait(ctx);
-            // Phase 2: sorted assembly (the contention stress).
-            for key in mine {
-                let inserted = t.transaction(ctx, |tx, ctx| list.insert(tx, ctx, key, key ^ 1));
-                assert!(inserted, "key {key} was uniquely ours");
-                ctx.work(20).plain("assembly prep");
-            }
-            Barrier::wait(ctx);
-            // Phase 3: matching — read-mostly probes against the set (the
-            // bulk of STAMP genome's runtime; embarrassingly parallel).
-            for i in start..end {
-                let key = segment(seed, i);
-                let probes = [key, key ^ 3, key.wrapping_add(17)];
-                let hits = t.transaction(ctx, |tx, ctx| {
-                    let mut hits = 0u64;
-                    for p in probes {
-                        if set.contains(tx, ctx, p)? {
-                            hits += 1;
-                        }
-                    }
-                    Ok(hits)
-                });
-                assert!(hits >= 1, "own segment must be present");
-                ctx.work(120).plain("match compute");
-            }
+            let mut b = SimBackend::new(t, ctx, tid, threads);
+            phase_body(&mut b, p, seed);
         })
     };
 
     let verify = move |m: &Machine, _w: &StampWorld| {
-        let set = HashSet::new(p.set_base(), p.buckets);
-        let list = SortedList::new(p.list_head());
-        let mut expected: Vec<u64> = (0..p.segments).map(|i| segment(seed, i)).collect();
-        expected.sort_unstable();
-        expected.dedup();
-        let keys = list.peek_keys(m);
-        assert!(
-            keys.windows(2).all(|w| w[0] < w[1]),
-            "list must be strictly sorted"
-        );
-        assert_eq!(
-            keys, expected,
-            "list contents diverge from the distinct segments"
-        );
-        let mut set_keys = set.peek_all(m);
-        set_keys.sort_unstable();
-        assert_eq!(set_keys, expected, "hash set contents diverge");
+        check_final(p, seed, &|a| m.peek(a));
     };
 
     run_workload(spec, setup, make_body, verify)
+}
+
+/// Runs genome on a native backend — host-atomics TL2 or the failover
+/// hybrid, per `spec.backend`: the *same* `phase_body` on real OS
+/// threads, verified by the same host-side dedup/sort replay.
+///
+/// # Panics
+///
+/// Panics if verification fails or `spec.backend` is simulated.
+pub fn run_native(spec: &RunSpec, params: &GenomeParams) -> NativeOutcome {
+    let p = *params;
+    let seed = spec.seed;
+    // One transaction per raw segment in phases 1 and 3, plus one per
+    // distinct segment in phase 2 — deterministic from the seed.
+    let ops = (p.segments * 2 + p.distinct_segments(seed).len()) as u64;
+    if spec.backend == BackendKind::NativeHybrid {
+        let h = native_hybrid_world(p.static_end(), p.native_alloc_words(), spec.threads);
+        run_native_hybrid_workload(
+            spec,
+            &h,
+            |_t| {},
+            |th| phase_body(th, p, seed),
+            |t| check_final(p, seed, &|a| t.peek(a)),
+            ops,
+        )
+    } else {
+        let heap = native_heap(p.static_end(), p.native_alloc_words());
+        run_native_workload(
+            spec,
+            &heap,
+            |_h| {},
+            |th| phase_body(th, p, seed),
+            |h| check_final(p, seed, &|a| h.peek(a)),
+            ops,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -168,12 +245,24 @@ mod tests {
     }
 
     #[test]
+    fn genome_verifies_on_native_threads() {
+        let p = tiny();
+        let out = run_native(&RunSpec::native(3), &p);
+        assert_eq!(out.total_commits(), out.ops, "one commit per transaction");
+    }
+
+    #[test]
+    fn genome_verifies_on_native_hybrid() {
+        let p = tiny();
+        let out = run_native(&RunSpec::native_hybrid(3), &p);
+        assert_eq!(out.total_commits(), out.ops, "one commit per transaction");
+    }
+
+    #[test]
     fn genome_has_duplicates_to_deduplicate() {
         let p = tiny();
-        let mut all: Vec<u64> = (0..p.segments).map(|i| segment(1, i)).collect();
-        let total = all.len();
-        all.sort_unstable();
-        all.dedup();
+        let all = p.distinct_segments(1);
+        let total = p.segments;
         assert!(all.len() < total, "parameters should produce duplicates");
         assert!(all.len() > total / 4, "but not only duplicates");
     }

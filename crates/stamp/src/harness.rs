@@ -11,7 +11,10 @@ use std::collections::BTreeMap;
 
 use ufotm_core::{BackendKind, HybridPolicy, RunReport, SystemKind, TmShared, TmThread};
 use ufotm_machine::{AbortReason, Addr, Machine, MachineConfig};
-use ufotm_native::{run_threads, NativeStats, NativeThread, NativeTl2};
+use ufotm_native::{
+    run_hybrid_threads, run_threads, HybridStats, HybridThread, NativeHybrid, NativeHybridPolicy,
+    NativeStats, NativeThread, NativeTl2,
+};
 use ufotm_sim::{Ctx, HandoffMode, Sim, ThreadFn};
 use ufotm_tl2::Tl2Stats;
 use ufotm_ustm::UstmStats;
@@ -55,8 +58,9 @@ pub struct RunSpec {
     pub broadcast_handoff: bool,
     /// Which execution substrate runs the workload. [`run_workload`]
     /// requires [`BackendKind::Simulated`]; the `run_native` entry points
-    /// require [`BackendKind::NativeTl2`] (where `kind`, `policy`,
-    /// `machine` and the engine knobs are meaningless and ignored).
+    /// require [`BackendKind::NativeTl2`] or [`BackendKind::NativeHybrid`]
+    /// (where `kind`, `policy`, `machine` and the engine knobs are
+    /// meaningless and ignored).
     pub backend: BackendKind,
 }
 
@@ -93,6 +97,20 @@ impl RunSpec {
     pub fn native(threads: usize) -> Self {
         let mut spec = RunSpec::new(SystemKind::Tl2, threads);
         spec.backend = BackendKind::NativeTl2;
+        spec
+    }
+
+    /// A spec for the native hybrid backend (TL2 fast path + USTM slow
+    /// path on real threads). The simulated hybrid is named as `kind`
+    /// purely for labelling — no simulator runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    #[must_use]
+    pub fn native_hybrid(threads: usize) -> Self {
+        let mut spec = RunSpec::new(SystemKind::UfoHybrid, threads);
+        spec.backend = BackendKind::NativeHybrid;
         spec
     }
 
@@ -274,8 +292,21 @@ pub struct NativeOutcome {
     pub threads: usize,
     /// Workload operations completed (the ops/sec numerator).
     pub ops: u64,
-    /// Merged per-thread TL2 counters.
+    /// Merged per-thread TL2 counters (on a hybrid run, the fast path —
+    /// identical to `hybrid.fast`).
     pub stats: NativeStats,
+    /// Merged hybrid counters. On a TL2-only run the slow-path and
+    /// failover fields are zero and `fast` mirrors `stats`, so
+    /// [`NativeOutcome::total_commits`] is meaningful on both backends.
+    pub hybrid: HybridStats,
+}
+
+impl NativeOutcome {
+    /// Transactions committed on either path.
+    #[must_use]
+    pub fn total_commits(&self) -> u64 {
+        self.stats.commits + self.hybrid.slow.commits
+    }
 }
 
 /// Builds a native heap sized for statics ending at `static_end` (a byte
@@ -316,6 +347,61 @@ pub fn run_native_workload(
         threads: spec.threads,
         ops,
         stats,
+        hybrid: HybridStats {
+            fast: stats,
+            ..HybridStats::default()
+        },
+    }
+}
+
+/// Builds native hybrid shared state with a heap sized like
+/// [`native_heap`] (statics ending at `static_end` plus `alloc_words` of
+/// transactional headroom), a 4096-stripe lock table, and a 1024-bin USTM
+/// ownership table for `threads` threads.
+#[must_use]
+pub fn native_hybrid_world(static_end: Addr, alloc_words: u64, threads: usize) -> NativeHybrid {
+    let base_word = static_end.0.next_multiple_of(64) / 8;
+    NativeHybrid::new(
+        base_word + alloc_words,
+        1 << 12,
+        base_word,
+        threads,
+        1 << 10,
+        NativeHybridPolicy::default(),
+    )
+}
+
+/// Runs one configuration on the native hybrid backend: `setup`
+/// populates the heap, every thread runs `body` through its
+/// [`HybridThread`] handle, `verify` checks invariants on the final heap
+/// (panicking on violation).
+///
+/// # Panics
+///
+/// Panics if `spec.backend` is not [`BackendKind::NativeHybrid`], or if
+/// `verify` (or a worker) panics.
+pub fn run_native_hybrid_workload(
+    spec: &RunSpec,
+    shared: &NativeHybrid,
+    setup: impl FnOnce(&NativeTl2),
+    body: impl Fn(&mut HybridThread<'_>) + Sync,
+    verify: impl FnOnce(&NativeTl2),
+    ops: u64,
+) -> NativeOutcome {
+    assert_eq!(
+        spec.backend,
+        BackendKind::NativeHybrid,
+        "run_native_hybrid_workload drives the native hybrid; use \
+         run_native_workload for BackendKind::NativeTl2"
+    );
+    setup(shared.tl2());
+    let (stats, _) = run_hybrid_threads(shared, spec.threads, body);
+    verify(shared.tl2());
+    NativeOutcome {
+        threads: spec.threads,
+        ops,
+        stats: stats.fast,
+        hybrid: stats,
     }
 }
 

@@ -17,8 +17,8 @@ use ufotm_machine::{Addr, Machine, LINE_WORDS};
 
 use crate::backend::SimBackend;
 use crate::harness::{
-    chunk, native_heap, run_native_workload, run_workload, NativeOutcome, RunOutcome, RunSpec,
-    STATIC_BASE,
+    chunk, native_heap, native_hybrid_world, run_native_hybrid_workload, run_native_workload,
+    run_workload, NativeOutcome, RunOutcome, RunSpec, STATIC_BASE,
 };
 use crate::world::StampWorld;
 
@@ -271,24 +271,38 @@ pub fn run(spec: &RunSpec, params: &KmeansParams) -> RunOutcome {
     run_workload(spec, setup, make_body, verify)
 }
 
-/// Runs kmeans on the native host-atomics TL2 backend: the *same*
-/// `assign_body` on real OS threads, verified by the same host replay.
+/// Runs kmeans on a native backend — host-atomics TL2 or the failover
+/// hybrid, per `spec.backend`: the *same* `assign_body` on real OS
+/// threads, verified by the same host replay.
 ///
 /// # Panics
 ///
-/// Panics if verification fails or `spec.backend` is not native.
+/// Panics if verification fails or `spec.backend` is simulated.
 pub fn run_native(spec: &RunSpec, params: &KmeansParams) -> NativeOutcome {
     let p = *params;
     let seed = spec.seed;
-    let heap = native_heap(p.static_end(), 0);
-    run_native_workload(
-        spec,
-        &heap,
-        |h| setup_data(p, seed, &mut |a, v| h.poke(a, v)),
-        |th| assign_body(th, p),
-        |h| check_final(p, seed, &|a| h.peek(a)),
-        (p.points * p.iterations) as u64,
-    )
+    let ops = (p.points * p.iterations) as u64;
+    if spec.backend == ufotm_core::BackendKind::NativeHybrid {
+        let h = native_hybrid_world(p.static_end(), 0, spec.threads);
+        run_native_hybrid_workload(
+            spec,
+            &h,
+            |t| setup_data(p, seed, &mut |a, v| t.poke(a, v)),
+            |th| assign_body(th, p),
+            |t| check_final(p, seed, &|a| t.peek(a)),
+            ops,
+        )
+    } else {
+        let heap = native_heap(p.static_end(), 0);
+        run_native_workload(
+            spec,
+            &heap,
+            |h| setup_data(p, seed, &mut |a, v| h.poke(a, v)),
+            |th| assign_body(th, p),
+            |h| check_final(p, seed, &|a| h.peek(a)),
+            ops,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -347,5 +361,16 @@ mod tests {
         let out = run_native(&RunSpec::native(4), &tiny());
         assert_eq!(out.ops, 96 * 2);
         assert_eq!(out.stats.commits, 96 * 2, "one commit per assignment");
+    }
+
+    #[test]
+    fn kmeans_verifies_on_native_hybrid() {
+        let out = run_native(&RunSpec::native_hybrid(4), &tiny());
+        assert_eq!(out.ops, 96 * 2);
+        assert_eq!(
+            out.total_commits(),
+            96 * 2,
+            "one commit per assignment across both paths"
+        );
     }
 }

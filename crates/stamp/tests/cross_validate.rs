@@ -1,4 +1,4 @@
-//! Sim-vs-native TL2 cross-validation.
+//! Sim-vs-native cross-validation: TL2, USTM, and the hybrid driver.
 //!
 //! Both TL2 implementations (`ufotm_tl2::Tl2Txn` on the simulated
 //! machine, `ufotm_native::NativeTxn` on host atomics) expose manual
@@ -8,13 +8,32 @@
 //! classifications) plus the final heap words it touched; the sim and
 //! native logs must be string-identical. Both sides use a 4096-entry
 //! lock table and the same stripe hash, so even stripe collisions agree.
+//!
+//! The USTM scripts drive a *single* manual handle per substrate
+//! (`ufotm_ustm::UstmTxn` vs `ufotm_native::NativeUstmTxn`): the
+//! simulated USTM's blocking protocol stalls a conflictor until its
+//! opponent retires, so a one-thread script interleaving two handles
+//! would deadlock — conflict behaviour is covered end-to-end by the
+//! workload runs instead. Both sides share the `UstmAbort` type, so the
+//! scripts compare classification *events* (where in the script aborts
+//! surface and what they roll back), not just formatting.
+//!
+//! The hybrid scripts run at transaction granularity through the
+//! [`TmBackend`] trait — the same generic script on the simulated
+//! UfoHybrid driver and the native TL2+USTM failover driver — and label
+//! each transaction's commit path from `commit_counts()` deltas,
+//! including a forced fast→slow failover via `force_failover_next()`.
 
 use std::sync::{Arc, Mutex};
 
+use ufotm_core::TmBackend;
 use ufotm_machine::{Addr, Machine, MachineConfig};
-use ufotm_native::{NativeTl2, NativeTxn};
+use ufotm_native::{
+    HybridThread, NativeHybrid, NativeHybridPolicy, NativeTl2, NativeTxn, NativeUstm, NativeUstmTxn,
+};
 use ufotm_sim::{Ctx, Sim, ThreadFn};
 use ufotm_tl2::{Tl2Abort, Tl2Config, Tl2Shared, Tl2Txn};
+use ufotm_ustm::{UstmAbort, UstmConfig, UstmShared, UstmTxn};
 
 const X: Addr = Addr(512);
 const LOCK_ENTRIES: u64 = 4096;
@@ -224,6 +243,326 @@ fn final_heaps_agree_after_a_deterministic_mix() {
         }
         ev
     });
+}
+
+// --- USTM: single-handle manual scripts --------------------------------
+
+/// One manual USTM transaction handle plus plain heap access — the least
+/// common denominator of `UstmTxn` (simulated) and `NativeUstmTxn`.
+trait UstmHandle {
+    fn begin(&mut self);
+    fn read(&mut self, addr: Addr) -> Result<u64, UstmAbort>;
+    fn write(&mut self, addr: Addr, value: u64) -> Result<(), UstmAbort>;
+    fn commit(&mut self) -> Result<(), UstmAbort>;
+    fn abort(&mut self) -> UstmAbort;
+    fn peek(&mut self, addr: Addr) -> u64;
+}
+
+struct SimUstm<'c> {
+    ctx: &'c mut Ctx<UstmShared>,
+    txn: UstmTxn,
+}
+
+impl UstmHandle for SimUstm<'_> {
+    fn begin(&mut self) {
+        self.txn.begin(self.ctx);
+    }
+    fn read(&mut self, addr: Addr) -> Result<u64, UstmAbort> {
+        self.txn.read(self.ctx, addr)
+    }
+    fn write(&mut self, addr: Addr, value: u64) -> Result<(), UstmAbort> {
+        self.txn.write(self.ctx, addr, value)
+    }
+    fn commit(&mut self) -> Result<(), UstmAbort> {
+        self.txn.commit(self.ctx)
+    }
+    fn abort(&mut self) -> UstmAbort {
+        self.txn.abort_explicit(self.ctx)
+    }
+    fn peek(&mut self, addr: Addr) -> u64 {
+        self.ctx.with(|w| w.machine.peek(addr))
+    }
+}
+
+struct NativeUstmHandle<'a> {
+    heap: &'a NativeTl2,
+    txn: NativeUstmTxn<'a>,
+}
+
+impl UstmHandle for NativeUstmHandle<'_> {
+    fn begin(&mut self) {
+        self.txn.begin();
+    }
+    fn read(&mut self, addr: Addr) -> Result<u64, UstmAbort> {
+        self.txn.read(addr)
+    }
+    fn write(&mut self, addr: Addr, value: u64) -> Result<(), UstmAbort> {
+        self.txn.write(addr, value)
+    }
+    fn commit(&mut self) -> Result<(), UstmAbort> {
+        self.txn.commit()
+    }
+    fn abort(&mut self) -> UstmAbort {
+        self.txn.abort_explicit()
+    }
+    fn peek(&mut self, addr: Addr) -> u64 {
+        self.heap.peek(addr)
+    }
+}
+
+/// Runs a USTM script on the simulated machine (strong-atomicity config,
+/// one CPU) and returns its event log.
+fn run_sim_ustm(script: fn(&mut dyn UstmHandle) -> Vec<String>) -> Vec<String> {
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&out);
+    let machine = Machine::new(MachineConfig::table4(1));
+    let shared = UstmShared::new(UstmConfig::default(), Addr(1 << 20), 1, 1 << 10);
+    let body: ThreadFn<UstmShared> = Box::new(move |ctx: &mut Ctx<UstmShared>| {
+        let mut h = SimUstm {
+            ctx,
+            txn: UstmTxn::new(0),
+        };
+        *sink.lock().unwrap() = script(&mut h);
+    });
+    Sim::new(machine, shared).run(vec![body]);
+    Arc::try_unwrap(out).unwrap().into_inner().unwrap()
+}
+
+/// Runs a USTM script on the native slow path and returns its event log.
+fn run_native_ustm(script: fn(&mut dyn UstmHandle) -> Vec<String>) -> Vec<String> {
+    let heap = NativeTl2::new(1 << 15, LOCK_ENTRIES, 1 << 14);
+    let ustm = NativeUstm::new(1, 1 << 10);
+    let mut h = NativeUstmHandle {
+        txn: NativeUstmTxn::new(&heap, &ustm, 0),
+        heap: &heap,
+    };
+    script(&mut h)
+}
+
+/// Asserts both USTM substrates produce the identical event log.
+///
+/// The scripts must not peek the heap while a writer transaction is in
+/// flight: the simulated USTM versions eagerly (speculative stores land
+/// in place, undone on abort) while the native USTM buffers a redo log,
+/// so mid-transaction heap bytes legitimately differ — only the
+/// committed (or rolled-back) states are comparable.
+fn cross_validate_ustm(name: &str, script: fn(&mut dyn UstmHandle) -> Vec<String>) -> Vec<String> {
+    let sim = run_sim_ustm(script);
+    let native = run_native_ustm(script);
+    assert_eq!(sim, native, "{name}: sim and native USTM logs diverge");
+    assert!(!sim.is_empty(), "{name}: vacuous script");
+    sim
+}
+
+#[test]
+fn ustm_publication_and_read_own_write_agree() {
+    let log = cross_validate_ustm("ustm-publication", |h| {
+        let y = distinct_stripe(2048);
+        let mut ev = Vec::new();
+        ev.push(format!("heap X pristine: {}", h.peek(X)));
+        h.begin();
+        ev.push(format!("read X pre: {:?}", h.read(X)));
+        ev.push(format!("write X=7: {:?}", h.write(X, 7)));
+        ev.push(format!("read own X: {:?}", h.read(X)));
+        ev.push(format!("write Y=3: {:?}", h.write(y, 3)));
+        ev.push(format!("commit: {:?}", h.commit()));
+        ev.push(format!("heap X published: {}", h.peek(X)));
+        ev.push(format!("heap Y published: {}", h.peek(y)));
+        ev
+    });
+    assert!(log.contains(&"read own X: Ok(7)".to_string()));
+    assert!(log.contains(&"heap X published: 7".to_string()));
+}
+
+#[test]
+fn ustm_explicit_abort_classification_and_rollback_agree() {
+    let log = cross_validate_ustm("ustm-explicit-abort", |h| {
+        let y = distinct_stripe(4096);
+        let mut ev = Vec::new();
+        h.begin();
+        ev.push(format!("write X=9: {:?}", h.write(X, 9)));
+        ev.push(format!("write Y=5: {:?}", h.write(y, 5)));
+        let abort = h.abort();
+        ev.push(format!("abort debug: {abort:?}"));
+        ev.push(format!("abort display: {abort}"));
+        ev.push(format!("heap X rolled back: {}", h.peek(X)));
+        ev.push(format!("heap Y rolled back: {}", h.peek(y)));
+        // The handle is reusable after an explicit abort.
+        h.begin();
+        ev.push(format!("write X=5: {:?}", h.write(X, 5)));
+        ev.push(format!("commit: {:?}", h.commit()));
+        ev.push(format!("heap X after retry: {}", h.peek(X)));
+        ev
+    });
+    assert!(
+        log.contains(&"abort display: explicit STM abort".to_string()),
+        "both sides must classify the abort identically: {log:?}"
+    );
+    assert!(log.contains(&"heap X rolled back: 0".to_string()));
+    assert!(log.contains(&"heap X after retry: 5".to_string()));
+}
+
+#[test]
+fn ustm_serial_rmw_mix_final_heaps_agree() {
+    // A serial pseudo-random read-modify-write mix over a small address
+    // range: no aborts, and the final heap must be word-identical.
+    cross_validate_ustm("ustm-deterministic-mix", |h| {
+        let addrs: Vec<Addr> = (0..12).map(|i| Addr(512 + i * 64)).collect();
+        let mut rng = 0x5EED_CAFEu64;
+        for _ in 0..100 {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let src = addrs[(rng % 12) as usize];
+            let dst = addrs[((rng >> 8) % 12) as usize];
+            h.begin();
+            let v = h.read(src).unwrap();
+            h.write(dst, v + (rng % 5) + 1).unwrap();
+            h.commit().unwrap();
+        }
+        let mut ev = Vec::new();
+        for &a in &addrs {
+            ev.push(format!("heap {}: {}", a.0, h.peek(a)));
+        }
+        ev
+    });
+}
+
+// --- Hybrid: transaction-granularity scripts over TmBackend ------------
+
+/// Labels one transaction's commit path from a `commit_counts()` delta.
+fn path(fast: u64, slow: u64) -> &'static str {
+    match (fast, slow) {
+        (1, 0) => "fast",
+        (0, 1) => "slow",
+        _ => "mixed",
+    }
+}
+
+/// The shared hybrid script: three read-modify-write transactions, the
+/// middle one forced onto the slow path via the driver's failover hook.
+/// Runs unchanged on the simulated UfoHybrid (BTM fast path, USTM slow
+/// path) and the native hybrid (TL2 fast path, native USTM slow path);
+/// values, per-transaction path labels, and failover counts must agree.
+fn hybrid_script<B: TmBackend>(b: &mut B) -> Vec<String> {
+    let mut ev = Vec::new();
+    let (f0, s0) = b.commit_counts();
+    let v = b.transaction(|tx| {
+        let v = tx.read(X)?;
+        tx.write(X, v + 7)?;
+        tx.read(X)
+    });
+    let (f1, s1) = b.commit_counts();
+    ev.push(format!("rmw: {v}, path {}", path(f1 - f0, s1 - s0)));
+
+    let failovers_before = b.failovers();
+    b.force_failover_next();
+    let v = b.transaction(|tx| {
+        let v = tx.read(X)?;
+        tx.write(X, v * 3)?;
+        tx.read(X)
+    });
+    let (f2, s2) = b.commit_counts();
+    ev.push(format!("forced: {v}, path {}", path(f2 - f1, s2 - s1)));
+    ev.push(format!(
+        "failovers taken: {}",
+        b.failovers() - failovers_before
+    ));
+
+    // The forced failover is one-shot: the next transaction goes back to
+    // the fast path on both drivers.
+    let v = b.transaction(|tx| {
+        let v = tx.read(X)?;
+        tx.write(X, v + 1)?;
+        tx.read(X)
+    });
+    let (f3, s3) = b.commit_counts();
+    ev.push(format!(
+        "after forced: {v}, path {}",
+        path(f3 - f2, s3 - s2)
+    ));
+    ev.push(format!("final X: {}", b.plain_load(X)));
+    ev
+}
+
+#[test]
+fn hybrid_forced_failover_script_agrees() {
+    use ufotm_core::SystemKind;
+    use ufotm_stamp::backend::SimBackend;
+    use ufotm_stamp::harness::{run_workload, RunSpec, WorkBody};
+
+    // Simulated UfoHybrid, one thread.
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let spec = RunSpec::new(SystemKind::UfoHybrid, 1);
+    run_workload(
+        &spec,
+        |_m, _w| {},
+        |tid| -> WorkBody {
+            let sink = Arc::clone(&out);
+            Box::new(move |t, ctx| {
+                let mut b = SimBackend::new(t, ctx, tid, 1);
+                *sink.lock().unwrap() = hybrid_script(&mut b);
+            })
+        },
+        |_m, _w| {},
+    );
+    let sim = Arc::try_unwrap(out).unwrap().into_inner().unwrap();
+
+    // Native hybrid driver, one thread.
+    let h = NativeHybrid::new(
+        1 << 15,
+        LOCK_ENTRIES,
+        1 << 14,
+        1,
+        1 << 10,
+        NativeHybridPolicy::default(),
+    );
+    let mut th = HybridThread::new(&h, None, 0, 1);
+    let native = hybrid_script(&mut th);
+
+    assert_eq!(sim, native, "hybrid script logs diverge");
+    assert!(
+        sim.contains(&"forced: 21, path slow".to_string()),
+        "forced transaction must take the slow path on both drivers: {sim:?}"
+    );
+    assert!(
+        sim.contains(&"after forced: 22, path fast".to_string()),
+        "failover must be one-shot on both drivers: {sim:?}"
+    );
+    assert!(sim.contains(&"failovers taken: 1".to_string()));
+}
+
+#[test]
+fn hybrid_workload_commit_counts_agree() {
+    // End-to-end: the backend-generic vacation/genome bodies, run on the
+    // simulated UfoHybrid and the native failover hybrid, commit exactly
+    // the same number of transactions (every logical transaction commits
+    // once, on whichever path the driver picked).
+    use ufotm_core::SystemKind;
+    use ufotm_stamp::harness::RunSpec;
+    use ufotm_stamp::{genome, vacation};
+
+    let gp = genome::GenomeParams {
+        segments: 80,
+        segment_space: 1 << 30,
+        buckets: 32,
+    };
+    let sim = genome::run(&RunSpec::new(SystemKind::UfoHybrid, 3), &gp);
+    let native = genome::run_native(&RunSpec::native_hybrid(3), &gp);
+    assert_eq!(sim.total_commits(), native.total_commits());
+
+    let vp = vacation::VacationParams {
+        relations: 64,
+        id_space: 128,
+        queries: 6,
+        query_range_pct: 50,
+        reserve_pct: 90,
+        total_tasks: 30,
+        customers: 16,
+    };
+    let sim = vacation::run(&RunSpec::new(SystemKind::UfoHybrid, 4), &vp);
+    let native = vacation::run_native(&RunSpec::native_hybrid(4), &vp);
+    assert_eq!(sim.total_commits(), native.total_commits());
 }
 
 #[test]
