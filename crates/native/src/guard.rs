@@ -192,6 +192,11 @@ mod imp {
     /// sees a half-registered slot.
     const MAX_REGIONS: usize = 16;
 
+    /// `REGION_BASE` sentinel: the slot is claimed by a registering
+    /// thread but its real base/length are not published yet. The
+    /// handler skips it like an empty slot.
+    const SLOT_CLAIMED: usize = usize::MAX;
+
     static REGION_BASE: [AtomicUsize; MAX_REGIONS] = [const { AtomicUsize::new(0) }; MAX_REGIONS];
     static REGION_LEN: [AtomicUsize; MAX_REGIONS] = [const { AtomicUsize::new(0) }; MAX_REGIONS];
     static REGION_FAULTS_IN: [AtomicU64; MAX_REGIONS] = [const { AtomicU64::new(0) }; MAX_REGIONS];
@@ -213,6 +218,30 @@ mod imp {
     static OLD_RESTORER: AtomicUsize = AtomicUsize::new(0);
     static OLD_MASK: AtomicU64 = AtomicU64::new(0);
 
+    /// Reinstalls the SIGSEGV disposition that was in place before
+    /// [`install_handler`], so the re-executed faulting instruction
+    /// re-faults into the old handler (or the default crash).
+    /// Async-signal-safe: atomics and one `rt_sigaction` syscall.
+    fn restore_previous_disposition() {
+        let old = KernelSigaction {
+            handler: OLD_HANDLER.load(Ordering::SeqCst),
+            flags: OLD_FLAGS.load(Ordering::SeqCst),
+            restorer: OLD_RESTORER.load(Ordering::SeqCst),
+            mask: OLD_MASK.load(Ordering::SeqCst),
+        };
+        // SAFETY: `old` is exactly the sigaction rt_sigaction reported at
+        // install time.
+        unsafe {
+            syscall4(
+                SYS_RT_SIGACTION,
+                SIGSEGV,
+                core::ptr::addr_of!(old) as usize,
+                0,
+                8,
+            );
+        }
+    }
+
     /// The classifying SIGSEGV handler. Async-signal-safe by
     /// construction: atomics, `sched_yield`, and `rt_sigaction` only.
     unsafe extern "C" fn segv_handler(
@@ -225,7 +254,7 @@ mod imp {
         let fault_addr = unsafe { core::ptr::read(info.cast::<u8>().add(16).cast::<usize>()) };
         for slot in 0..MAX_REGIONS {
             let base = REGION_BASE[slot].load(Ordering::SeqCst);
-            if base == 0 {
+            if base == 0 || base == SLOT_CLAIMED {
                 continue;
             }
             let len = REGION_LEN[slot].load(Ordering::SeqCst);
@@ -252,8 +281,10 @@ mod imp {
                 if spins > 1 << 32 {
                     // A window has been open for minutes: a committer is
                     // wedged. Fall back to the previous disposition so
-                    // the re-fault crashes loudly instead of hanging.
-                    break;
+                    // the re-fault (the page is still PROT_NONE) crashes
+                    // loudly instead of hanging this thread forever.
+                    restore_previous_disposition();
+                    return;
                 }
             }
             return;
@@ -261,23 +292,7 @@ mod imp {
         // Not ours (a genuine segfault elsewhere in the process): put the
         // previous disposition back and return. The instruction re-faults
         // straight into the old handler or the default crash.
-        let old = KernelSigaction {
-            handler: OLD_HANDLER.load(Ordering::SeqCst),
-            flags: OLD_FLAGS.load(Ordering::SeqCst),
-            restorer: OLD_RESTORER.load(Ordering::SeqCst),
-            mask: OLD_MASK.load(Ordering::SeqCst),
-        };
-        // SAFETY: `old` is exactly the sigaction rt_sigaction reported at
-        // install time.
-        unsafe {
-            syscall4(
-                SYS_RT_SIGACTION,
-                SIGSEGV,
-                core::ptr::addr_of!(old) as usize,
-                0,
-                8,
-            );
-        }
+        restore_previous_disposition();
     }
 
     /// Installs the handler once per process; returns whether it is in
@@ -391,19 +406,15 @@ mod imp {
                 }
                 return None;
             };
-            // Claim a registry slot; length before base, base last (the
-            // handler treats base != 0 as "slot live").
-            let mut claimed = None;
-            for slot in 0..MAX_REGIONS {
-                REGION_LEN[slot].store(bytes, Ordering::SeqCst);
-                if REGION_BASE[slot]
-                    .compare_exchange(0, public_base, Ordering::SeqCst, Ordering::SeqCst)
+            // Claim a registry slot with a CAS to the claimed sentinel —
+            // never touching slots owned by other live heaps — then fill
+            // in this slot's length and counters, and publish the real
+            // base *last* (the handler skips both 0 and the sentinel, so
+            // it never sees a half-registered slot).
+            let claimed = REGION_BASE.iter().position(|b| {
+                b.compare_exchange(0, SLOT_CLAIMED, Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok()
-                {
-                    claimed = Some(slot);
-                    break;
-                }
-            }
+            });
             let Some(slot) = claimed else {
                 // SAFETY: tear down both fresh mappings and the fd.
                 unsafe {
@@ -413,9 +424,11 @@ mod imp {
                 }
                 return None;
             };
+            REGION_LEN[slot].store(bytes, Ordering::SeqCst);
             REGION_FAULTS_IN[slot].store(0, Ordering::SeqCst);
             REGION_FAULTS_AFTER[slot].store(0, Ordering::SeqCst);
             REGION_LAST_FAULT[slot].store(0, Ordering::SeqCst);
+            REGION_BASE[slot].store(public_base, Ordering::SeqCst);
             Some(DualMapping {
                 public_base,
                 shadow_base,

@@ -24,9 +24,12 @@
 //!   transactions run concurrently — USTM's ownership table is the
 //!   concurrency control within the slow mode.
 //!
-//! The gate also closes the plain-access hole the `mprotect` guard
-//! cannot cover on unguarded (boxed/TSan) heaps: with the fast path
-//! quiesced, the only code touching USTM-written lines during a slow
+//! Plain accesses ([`NativeHybrid::peek`]/[`NativeHybrid::poke`], and
+//! the backend's `plain_load`/`plain_store` which route through them)
+//! register in the same inflight count as fast transactions, so the
+//! gate also closes the plain-access hole the `mprotect` guard cannot
+//! cover on unguarded (boxed/TSan/non-x86_64) heaps: with the gate
+//! drained, the only code touching USTM-written lines during a slow
 //! commit is USTM itself.
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -116,15 +119,46 @@ impl NativeHybrid {
         &self.ustm
     }
 
-    /// Plain (non-transactional) load; see [`NativeTl2::peek`].
-    #[must_use]
-    pub fn peek(&self, addr: Addr) -> u64 {
-        self.tl2.peek(addr)
+    /// Registers a fast-path transaction *or* a plain accessor in
+    /// `fast_inflight`, quiescing while any slow-path transaction is
+    /// pending (the PhTM-style stop-word subscription). Routing plain
+    /// accesses through the same gate closes the hole the `mprotect`
+    /// guard cannot cover on unguarded (boxed/TSan/non-x86_64) heaps:
+    /// a pending slow commit drains plain accessors exactly like fast
+    /// transactions before touching the heap.
+    fn gate_enter(&self) {
+        loop {
+            self.fast_inflight.fetch_add(1, Ordering::SeqCst);
+            if self.slow_mode.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            self.fast_inflight.fetch_sub(1, Ordering::SeqCst);
+            while self.slow_mode.load(Ordering::SeqCst) != 0 {
+                std::thread::yield_now();
+            }
+        }
     }
 
-    /// Plain (non-transactional) store; see [`NativeTl2::poke`].
+    fn gate_exit(&self) {
+        self.fast_inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Plain (non-transactional) load, gated against slow-path commit
+    /// windows; see [`NativeTl2::peek`].
+    #[must_use]
+    pub fn peek(&self, addr: Addr) -> u64 {
+        self.gate_enter();
+        let v = self.tl2.peek(addr);
+        self.gate_exit();
+        v
+    }
+
+    /// Plain (non-transactional) store, gated against slow-path commit
+    /// windows; see [`NativeTl2::poke`].
     pub fn poke(&self, addr: Addr, value: u64) {
+        self.gate_enter();
         self.tl2.poke(addr, value);
+        self.gate_exit();
     }
 
     /// Host-side allocation from the shared bump allocator.
@@ -275,22 +309,13 @@ impl<'a> HybridThread<'a> {
     }
 
     /// Registers a fast-path transaction, quiescing while any slow-path
-    /// transaction is pending (the PhTM-style stop-word subscription).
+    /// transaction is pending; see [`NativeHybrid::gate_enter`].
     fn enter_fast(&self) {
-        loop {
-            self.shared.fast_inflight.fetch_add(1, Ordering::SeqCst);
-            if self.shared.slow_mode.load(Ordering::SeqCst) == 0 {
-                return;
-            }
-            self.shared.fast_inflight.fetch_sub(1, Ordering::SeqCst);
-            while self.shared.slow_mode.load(Ordering::SeqCst) != 0 {
-                std::thread::yield_now();
-            }
-        }
+        self.shared.gate_enter();
     }
 
     fn exit_fast(&self) {
-        self.shared.fast_inflight.fetch_sub(1, Ordering::SeqCst);
+        self.shared.gate_exit();
     }
 
     /// One fast-path attempt; `Some(r)` on commit.
@@ -369,11 +394,11 @@ impl TmBackend for HybridThread<'_> {
     }
 
     fn plain_load(&mut self, addr: Addr) -> u64 {
-        self.shared.tl2.peek(addr)
+        self.shared.peek(addr)
     }
 
     fn plain_store(&mut self, addr: Addr, value: u64) {
-        self.shared.tl2.poke(addr, value);
+        self.shared.poke(addr, value);
     }
 
     fn compute(&mut self, cycles: u64) {

@@ -103,6 +103,42 @@ fn racing_plain_read_defers_to_post_window_state() {
     });
 }
 
+/// Regression: registering a *second*, smaller guarded heap must not
+/// disturb the first heap's registered length. The original slot-claim
+/// loop wrote `REGION_LEN[slot]` for every probed slot before the CAS
+/// on `REGION_BASE`, so a second registration shrank (or grew) the
+/// recorded length of already-occupied slots — after which a perfectly
+/// legitimate guarded access high in the first heap was misclassified
+/// as "not ours" and crashed through the restored old disposition.
+#[test]
+fn second_heap_registration_preserves_first_heap_length() {
+    if !guard::available() {
+        return;
+    }
+    // 16 Ki words = 128 KiB guarded heap.
+    let big = NativeTl2::new(1 << 14, 1 << 8, 1 << 13);
+    // 512 words = 4 KiB: registering this while `big` is live probes
+    // (and under the bug, clobbered) `big`'s occupied slot first.
+    let small = NativeTl2::new(1 << 9, 1 << 8, 1 << 8);
+    assert!(big.guard_stats().guarded && small.guard_stats().guarded);
+
+    // The last line of `big` — far beyond `small`'s 4 KiB length, so a
+    // clobbered slot length turns this fault into a crash.
+    let high = Addr((1 << 14) * 8 - 64);
+    big.poke(high, 5);
+
+    std::thread::scope(|scope| {
+        let win = big.debug_open_window(&[high]);
+        let baseline = big.guard_stats();
+        let poker = scope.spawn(|| big.poke(high, 6));
+        wait_until(|| big.guard_stats().faults_in_window > baseline.faults_in_window);
+        drop(win);
+        poker.join().expect("poker thread panicked");
+    });
+    assert_eq!(big.peek(high), 6, "deferred high-address write was lost");
+    drop(small);
+}
+
 /// End-to-end: plain pokes/peeks hammer a word that shares a page with
 /// words a USTM transaction commits to. Every committed value must be
 /// consistent — the plain traffic is serialized around the commit
