@@ -1,4 +1,4 @@
-//! The repo-specific lint passes (D1–D7).
+//! The repo-specific lint passes (D1–D8).
 //!
 //! Each pass is a token-level pattern matcher over [`crate::lexer::Lexed`]
 //! streams with test code stripped. The passes encode *protocol* rules the
@@ -20,6 +20,13 @@
 //! * [`PERSIST_BYPASS`] — a direct `mem.write` in the machine crate
 //!   outside the audited `mem_write` funnel: such a write could shadow the
 //!   volatile/durable split the persistence domain depends on.
+//! * [`POISONED_LOCK_CASCADE`] — `.unwrap()`/`.expect()` chained onto
+//!   `Mutex::lock` in a real-thread ([`HOST_EXEMPT`]) crate. On real OS
+//!   threads a worker can die holding the mutex (the chaos layer does this
+//!   on purpose); unwrapping the poison error turns that one death into a
+//!   panic cascade through every survivor. The audited route is
+//!   `ufotm_native::chaos::lock_recover`, which recovers the guard and
+//!   reports the poison.
 //!
 //! One meta pass guards the scope lists themselves:
 //!
@@ -43,6 +50,8 @@ pub const STATS_MERGE_EXHAUSTIVENESS: &str = "stats-merge-exhaustiveness";
 pub const PANICKING_MACHINE_ACCESS: &str = "panicking-machine-access";
 /// Lint name: direct `mem.write` outside the audited `mem_write` funnel.
 pub const PERSIST_BYPASS: &str = "persist-bypass";
+/// Lint name: unwrapped `Mutex::lock` in a real-thread crate.
+pub const POISONED_LOCK_CASCADE: &str = "poisoned-lock-cascade";
 /// Lint name: crate in neither the deterministic nor the host-exempt list.
 pub const UNCLASSIFIED_CRATE: &str = "unclassified-crate";
 /// Pseudo-lint: a suppression marker missing its `-- <reason>`.
@@ -58,6 +67,7 @@ pub const LINTS: &[&str] = &[
     STATS_MERGE_EXHAUSTIVENESS,
     PANICKING_MACHINE_ACCESS,
     PERSIST_BYPASS,
+    POISONED_LOCK_CASCADE,
     UNCLASSIFIED_CRATE,
 ];
 
@@ -158,6 +168,9 @@ pub fn run_passes(file: &SourceFile, index: &WorkspaceIndex, out: &mut Vec<Findi
     }
     stats_merge_exhaustiveness(file, out);
     let host_exempt = HOST_EXEMPT.iter().any(|(c, _)| *c == file.crate_name);
+    if host_exempt {
+        poisoned_lock_cascade(file, out);
+    }
     if !in_deterministic && !host_exempt {
         unclassified_crate(file, out);
     }
@@ -574,6 +587,56 @@ fn panicking_machine_access(file: &SourceFile, out: &mut Vec<Finding>) {
                      `PlainAccess::plain(\"what\")` (or handle the error)",
                     panicky.text,
                     t[i + 1].text
+                ),
+            );
+        }
+    }
+}
+
+/// D8: flags `.unwrap()` / `.expect(…)` chained onto a `.lock(…)` call in a
+/// real-thread crate. A [`Mutex`](std::sync::Mutex) acquired on real OS
+/// threads can be poisoned by a worker dying while holding it — the native
+/// chaos layer injects exactly such deaths — and an inline unwrap converts
+/// that single death into a panic cascade: every survivor that touches the
+/// mutex dies too, and the run loses the survivors' evidence along with the
+/// victim's. The audited route is `ufotm_native::chaos::lock_recover`, which
+/// hands back the guard (poisoned or not) plus a flag so the caller can
+/// count the recovery.
+fn poisoned_lock_cascade(file: &SourceFile, out: &mut Vec<Finding>) {
+    let t = &file.tokens;
+    for i in 0..t.len() {
+        if !(t[i].is_punct(".")
+            && t.get(i + 1).is_some_and(|m| m.is_ident("lock"))
+            && t.get(i + 2).is_some_and(|x| x.is_punct("(")))
+        {
+            continue;
+        }
+        // Balance the call's parens, then require `.unwrap(` / `.expect(`.
+        let mut depth = 1i32;
+        let mut j = i + 3;
+        while j < t.len() && depth > 0 {
+            if t[j].is_punct("(") {
+                depth += 1;
+            } else if t[j].is_punct(")") {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        let (Some(dot), Some(panicky)) = (t.get(j), t.get(j + 1)) else {
+            continue;
+        };
+        if dot.is_punct(".") && (panicky.is_ident("unwrap") || panicky.is_ident("expect")) {
+            push(
+                out,
+                POISONED_LOCK_CASCADE,
+                file,
+                panicky.line,
+                format!(
+                    "`.{}()` chained onto `.lock(…)`: a worker dying while holding this \
+                     mutex poisons it, and the unwrap cascades that one death into a \
+                     panic on every later acquisition; use \
+                     `ufotm_native::chaos::lock_recover` (or match the `PoisonError`)",
+                    panicky.text
                 ),
             );
         }

@@ -1,0 +1,30 @@
+//@ path: crates/native/src/fixture.rs
+//! D8 negative: the audited routes — `chaos::lock_recover` hands back
+//! the guard (poisoned or not) plus a recovery flag, an explicit match
+//! on the `PoisonError` handles it by hand, and unwraps on non-lock
+//! results are out of scope.
+
+use std::sync::{Mutex, MutexGuard};
+
+pub fn enter(gate: &Mutex<u64>) -> u64 {
+    let (g, _was_poisoned) = lock_recover(gate);
+    *g
+}
+
+pub fn enter_by_hand(gate: &Mutex<u64>) -> u64 {
+    match gate.lock() {
+        Ok(g) => *g,
+        Err(poison) => *poison.into_inner(),
+    }
+}
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().unwrap()
+}
+
+fn lock_recover<T>(m: &Mutex<T>) -> (MutexGuard<'_, T>, bool) {
+    match m.lock() {
+        Ok(g) => (g, false),
+        Err(poison) => (poison.into_inner(), true),
+    }
+}

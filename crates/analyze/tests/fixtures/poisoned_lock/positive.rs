@@ -1,0 +1,14 @@
+//@ path: crates/native/src/fixture.rs
+//! D8 positive: unwrapped lock acquisitions in a real-thread crate — a
+//! chaos-injected death while holding the mutex poisons it, and these
+//! unwraps cascade that one death into a panic on every survivor.
+
+use std::sync::Mutex;
+
+pub fn enter(gate: &Mutex<u64>) -> u64 {
+    *gate.lock().unwrap() //~ poisoned-lock-cascade
+}
+
+pub fn stamp(gate: &Mutex<u64>, v: u64) {
+    *gate.lock().expect("serial gate") = v; //~ poisoned-lock-cascade
+}

@@ -109,11 +109,11 @@ fn all_fixtures() -> Vec<PathBuf> {
 #[test]
 fn every_fixture_matches_its_expectations() {
     let fixtures = all_fixtures();
-    // 7 lints × {positive, negative, suppressed} + 2 suppression-hygiene
+    // 8 lints × {positive, negative, suppressed} + 2 suppression-hygiene
     // + 2 meta regressions.
     assert_eq!(
         fixtures.len(),
-        25,
+        28,
         "fixture inventory drifted: {fixtures:?}"
     );
     for f in &fixtures {

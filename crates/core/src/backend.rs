@@ -129,6 +129,27 @@ pub trait TmBackend {
     fn failovers(&mut self) -> u64 {
         0
     }
+
+    /// Transactions completed on a serial-irrevocable last-resort tier
+    /// (hybrid backends with a watchdog; defaults to 0). Reported
+    /// identically by the simulated and native hybrids so robustness
+    /// observability is substrate-independent.
+    fn serial_commits(&mut self) -> u64 {
+        0
+    }
+
+    /// Ownership records reclaimed from dead/orphaned owners (native
+    /// fault-tolerant backends: stolen TL2 stripe locks plus discarded
+    /// unsealed slow-path transactions; defaults to 0).
+    fn orphan_reclaims(&mut self) -> u64 {
+        0
+    }
+
+    /// Sealed slow-path commits of dead workers finished by a helper
+    /// (native fault-tolerant backends; defaults to 0).
+    fn helper_completions(&mut self) -> u64 {
+        0
+    }
 }
 
 /// Which substrate a run executes on; carried by the stamp harness's
@@ -307,5 +328,8 @@ mod tests {
         increment_n(&mut b, Addr(8), 1);
         assert_eq!(b.commit_counts(), (0, 0));
         assert_eq!(b.failovers(), 0);
+        assert_eq!(b.serial_commits(), 0);
+        assert_eq!(b.orphan_reclaims(), 0);
+        assert_eq!(b.helper_completions(), 0);
     }
 }

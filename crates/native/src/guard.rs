@@ -88,6 +88,7 @@ mod imp {
     use std::sync::{Mutex, MutexGuard, Once};
 
     use super::GuardStats;
+    use crate::chaos::{lock_recover, FailSite, NativeChaos};
 
     pub(crate) fn compiled_in() -> bool {
         true
@@ -464,7 +465,26 @@ mod imp {
         /// Opens a commit window over the pages containing `word_idxs`
         /// (any order, duplicates fine): flips them to `PROT_NONE` on the
         /// public view. The window closes when the returned guard drops.
-        pub(crate) fn open_window(&self, word_idxs: impl Iterator<Item = usize>) -> Window<'_> {
+        ///
+        /// `chaos` (the committing worker's failpoint handle, if any) is
+        /// struck at [`FailSite::GuardWindow`] once per protected run —
+        /// right after the pages flip, the most hostile instant.
+        ///
+        /// The window is built **incrementally**: each run is recorded in
+        /// the returned [`Window`] only after its pages are protected, so
+        /// a panic anywhere past the gate (an injected failpoint, a
+        /// failed `mprotect`, or a committer dying mid write-back) drops
+        /// a `Window` that restores exactly the pages already flipped.
+        /// The public view can never be left `PROT_NONE` by an unwinding
+        /// thread. A poisoned gate (a previous holder panicked) is
+        /// recovered rather than cascaded: the gate protects no data —
+        /// only window exclusivity — and the dead holder's `Window` drop
+        /// already restored its pages.
+        pub(crate) fn open_window(
+            &self,
+            word_idxs: impl Iterator<Item = usize>,
+            chaos: Option<(&NativeChaos, usize)>,
+        ) -> Window<'_> {
             let mut pages: Vec<usize> = word_idxs.map(|w| w * 8 / PAGE_BYTES).collect();
             pages.sort_unstable();
             pages.dedup();
@@ -476,10 +496,15 @@ mod imp {
                     _ => runs.push((p, 1)),
                 }
             }
-            let gate = self.window_gate.lock().expect("window gate poisoned");
+            let (gate, _recovered) = lock_recover(&self.window_gate);
             self.windows_opened.fetch_add(1, Ordering::SeqCst);
             ACTIVE_WINDOWS.fetch_add(1, Ordering::SeqCst);
-            for &(page, n) in &runs {
+            let mut win = Window {
+                map: self,
+                runs: Vec::with_capacity(runs.len()),
+                _gate: gate,
+            };
+            for (page, n) in runs {
                 // SAFETY: page range is within our public mapping.
                 let rc = unsafe {
                     syscall3(
@@ -490,12 +515,12 @@ mod imp {
                     )
                 };
                 assert_eq!(rc, 0, "mprotect(PROT_NONE) failed");
+                win.runs.push((page, n));
+                if let Some((c, tid)) = chaos {
+                    let _ = c.strike(tid, FailSite::GuardWindow);
+                }
             }
-            Window {
-                map: self,
-                runs,
-                _gate: gate,
-            }
+            win
         }
 
         pub(crate) fn stats(&self) -> GuardStats {

@@ -11,6 +11,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::chaos::NativeChaos;
 use crate::guard::{self, GuardStats};
 
 #[cfg(all(
@@ -107,11 +108,22 @@ impl WordHeap {
 
     /// Opens a strong-atomicity window over the pages containing
     /// `word_idxs`. A no-op handle on boxed storage (the guard then
-    /// rests on the hybrid's fast-path quiescence alone).
-    pub(crate) fn open_window(&self, word_idxs: impl Iterator<Item = usize>) -> CommitWindow<'_> {
+    /// rests on the hybrid's fast-path quiescence alone). `chaos` is the
+    /// committing worker's failpoint handle, struck at the
+    /// `GuardWindow` site once protection is up (and, on boxed storage,
+    /// struck once anyway so failpoint schedules keep their shape when
+    /// the guard is unavailable).
+    pub(crate) fn open_window(
+        &self,
+        word_idxs: impl Iterator<Item = usize>,
+        chaos: Option<(&NativeChaos, usize)>,
+    ) -> CommitWindow<'_> {
         match self {
             WordHeap::Boxed(_) => {
                 let _ = word_idxs;
+                if let Some((c, tid)) = chaos {
+                    let _ = c.strike(tid, crate::chaos::FailSite::GuardWindow);
+                }
                 CommitWindow {
                     #[cfg(all(
                         feature = "mprotect-guard",
@@ -128,7 +140,7 @@ impl WordHeap {
                 target_arch = "x86_64"
             ))]
             WordHeap::Mapped(m) => CommitWindow {
-                _win: Some(m.open_window(word_idxs)),
+                _win: Some(m.open_window(word_idxs, chaos)),
                 _heap: std::marker::PhantomData,
             },
         }

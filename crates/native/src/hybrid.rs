@@ -32,13 +32,15 @@
 //! drained, the only code touching USTM-written lines during a slow
 //! commit is USTM itself.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::sync::{Barrier, Mutex};
 
 use ufotm_core::{Stop, TmBackend, TxScope};
 use ufotm_machine::Addr;
 use ufotm_ustm::UstmAbort;
 
+use crate::chaos::{self, lock_recover, FailSite};
 use crate::guard::GuardStats;
 use crate::tl2::{spin_work, NativeStats, NativeTl2, NativeTxn};
 use crate::ustm::{NativeUstm, NativeUstmStats, NativeUstmTxn};
@@ -57,6 +59,9 @@ pub struct NativeHybridPolicy {
     pub backoff_cap_exp: u32,
     /// ± percentage of random jitter applied to each backoff.
     pub backoff_jitter_pct: u64,
+    /// Slow-path attempts before escalating to the serial-irrevocable
+    /// tier (the native mirror of the simulator's third watchdog tier).
+    pub serial_after: u32,
 }
 
 impl Default for NativeHybridPolicy {
@@ -66,6 +71,7 @@ impl Default for NativeHybridPolicy {
             backoff_base: 50,
             backoff_cap_exp: 7,
             backoff_jitter_pct: 25,
+            serial_after: 8,
         }
     }
 }
@@ -80,6 +86,18 @@ pub struct NativeHybrid {
     slow_mode: AtomicU64,
     /// Count of fast-path transactions currently executing.
     fast_inflight: AtomicU64,
+    /// Nonzero while a serial-irrevocable transaction runs; both paths
+    /// subscribe to it (fast via the gate, slow via attempt parking).
+    serial_mode: AtomicU64,
+    /// Serializes serial-tier transactions.
+    serial_gate: Mutex<()>,
+    /// Per-tid flag: this tid currently holds a `fast_inflight`
+    /// registration. Lets [`NativeHybrid::reap_dead`] repair the gate
+    /// when a worker dies between register and deregister.
+    fast_held: Box<[AtomicU64]>,
+    /// Per-tid flag: this tid currently holds a `slow_mode`
+    /// registration.
+    slow_held: Box<[AtomicU64]>,
     policy: NativeHybridPolicy,
 }
 
@@ -102,7 +120,45 @@ impl NativeHybrid {
             ustm: NativeUstm::new(threads, otable_bins),
             slow_mode: AtomicU64::new(0),
             fast_inflight: AtomicU64::new(0),
+            serial_mode: AtomicU64::new(0),
+            serial_gate: Mutex::new(()),
+            fast_held: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            slow_held: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             policy,
+        }
+    }
+
+    /// Repairs everything a **dead** worker left behind in the hybrid:
+    /// its USTM leavings (helper-completing a sealed commit — done
+    /// first, while any gate registration the corpse leaked still holds
+    /// the fast path off unguarded heaps), its orphaned TL2 stripe
+    /// locks, and finally any `fast_inflight`/`slow_mode` registration
+    /// it died holding (which would otherwise wedge the gate forever).
+    /// Idempotent and safe to call from multiple survivors — the held
+    /// flags are consumed by CAS.
+    pub fn reap_dead(&self, tid: usize) {
+        self.ustm.reclaim_dead(&self.tl2, tid);
+        self.tl2.sweep_orphans();
+        if self.fast_held[tid]
+            .compare_exchange(1, 0, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.fast_inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+        if self.slow_held[tid]
+            .compare_exchange(1, 0, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.slow_mode.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Reaps every tid the liveness registry has marked dead.
+    pub fn reap_all_dead(&self) {
+        for tid in 0..self.slow_held.len() {
+            if self.tl2.liveness().is_dead(tid) {
+                self.reap_dead(tid);
+            }
         }
     }
 
@@ -127,13 +183,20 @@ impl NativeHybrid {
     /// a pending slow commit drains plain accessors exactly like fast
     /// transactions before touching the heap.
     fn gate_enter(&self) {
+        // Delay-only failpoint (anonymous stream): widens the window in
+        // which a plain accessor sits between registering and checking.
+        let _ = self.tl2.chaos().strike_anon(FailSite::HybridGate);
         loop {
             self.fast_inflight.fetch_add(1, Ordering::SeqCst);
-            if self.slow_mode.load(Ordering::SeqCst) == 0 {
+            if self.slow_mode.load(Ordering::SeqCst) == 0
+                && self.serial_mode.load(Ordering::SeqCst) == 0
+            {
                 return;
             }
             self.fast_inflight.fetch_sub(1, Ordering::SeqCst);
-            while self.slow_mode.load(Ordering::SeqCst) != 0 {
+            while self.slow_mode.load(Ordering::SeqCst) != 0
+                || self.serial_mode.load(Ordering::SeqCst) != 0
+            {
                 std::thread::yield_now();
             }
         }
@@ -188,16 +251,22 @@ pub struct HybridStats {
     /// Failovers injected by [`HybridThread::force_failover_next`]
     /// (test/cross-validation scaffolding).
     pub forced_failovers: u64,
+    /// Transactions completed on the serial-irrevocable tier.
+    pub serial_commits: u64,
+    /// Escalations from the slow path to the serial tier (after
+    /// `serial_after` failed slow attempts).
+    pub serial_escalations: u64,
 }
 
 impl HybridStats {
-    /// Transactions committed on either path.
+    /// Transactions committed on any tier.
     #[must_use]
     pub fn total_commits(&self) -> u64 {
-        self.fast.commits + self.slow.commits
+        self.fast.commits + self.slow.commits + self.serial_commits
     }
 
-    /// Total aborts on either path.
+    /// Total aborts on either retrying path (the serial tier never
+    /// aborts).
     #[must_use]
     pub fn total_aborts(&self) -> u64 {
         self.fast.total_aborts() + self.slow.total_aborts()
@@ -212,11 +281,15 @@ impl HybridStats {
             slow,
             failovers,
             forced_failovers,
+            serial_commits,
+            serial_escalations,
         } = *other;
         self.fast.merge(&fast);
         self.slow.merge(&slow);
         self.failovers += failovers;
         self.forced_failovers += forced_failovers;
+        self.serial_commits += serial_commits;
+        self.serial_escalations += serial_escalations;
     }
 }
 
@@ -235,6 +308,8 @@ pub struct HybridThread<'a> {
     force_slow: bool,
     failovers: u64,
     forced_failovers: u64,
+    serial_commits: u64,
+    serial_escalations: u64,
     rng: u64,
 }
 
@@ -259,6 +334,8 @@ impl<'a> HybridThread<'a> {
             force_slow: false,
             failovers: 0,
             forced_failovers: 0,
+            serial_commits: 0,
+            serial_escalations: 0,
             rng: 0x9E37_79B9_7F4A_7C15 ^ ((tid as u64 + 1) << 17),
         }
     }
@@ -279,6 +356,8 @@ impl<'a> HybridThread<'a> {
             slow: self.slow.stats,
             failovers: self.failovers,
             forced_failovers: self.forced_failovers,
+            serial_commits: self.serial_commits,
+            serial_escalations: self.serial_escalations,
         }
     }
 
@@ -323,7 +402,11 @@ impl<'a> HybridThread<'a> {
         &mut self,
         body: &mut impl FnMut(&mut dyn TxScope) -> Result<R, Stop>,
     ) -> Option<R> {
+        // Held-flag first, then the body: if this worker dies at an
+        // injected failpoint inside the attempt, `reap_dead` can see the
+        // flag and give its gate registration back.
         self.enter_fast();
+        self.shared.fast_held[self.tid].store(1, Ordering::SeqCst);
         self.fast.begin();
         let committed = match body(&mut self.fast) {
             Ok(r) => self.fast.commit().is_ok().then_some(r),
@@ -334,23 +417,49 @@ impl<'a> HybridThread<'a> {
                 None
             }
         };
+        self.shared.fast_held[self.tid].store(0, Ordering::SeqCst);
         self.exit_fast();
         committed
     }
 
     /// Runs one transaction to commit on the USTM slow path: raise the
     /// mode, drain the fast path, retry the body under USTM until it
-    /// commits, release the mode.
+    /// commits, release the mode. After `serial_after` failed attempts,
+    /// escalates to the serial-irrevocable tier — the third watchdog
+    /// tier, mirroring the simulator's. Between attempts the slow path
+    /// parks (deregistering from the mode) while a serial transaction
+    /// runs, so the serial tier's drain always terminates.
     fn run_slow<R>(&mut self, body: &mut impl FnMut(&mut dyn TxScope) -> Result<R, Stop>) -> R {
-        self.shared.slow_mode.fetch_add(1, Ordering::SeqCst);
-        while self.shared.fast_inflight.load(Ordering::SeqCst) != 0 {
+        let shared = self.shared;
+        shared.slow_held[self.tid].store(1, Ordering::SeqCst);
+        shared.slow_mode.fetch_add(1, Ordering::SeqCst);
+        while shared.fast_inflight.load(Ordering::SeqCst) != 0 {
             std::thread::yield_now();
         }
-        let r = loop {
+        let mut attempts = 0u32;
+        let committed = loop {
+            if attempts >= shared.policy.serial_after {
+                break None;
+            }
+            if shared.serial_mode.load(Ordering::SeqCst) != 0 {
+                // Park: hand the mode back so the serial tier can drain,
+                // re-register once it completes.
+                shared.slow_mode.fetch_sub(1, Ordering::SeqCst);
+                shared.slow_held[self.tid].store(0, Ordering::SeqCst);
+                while shared.serial_mode.load(Ordering::SeqCst) != 0 {
+                    std::thread::yield_now();
+                }
+                shared.slow_held[self.tid].store(1, Ordering::SeqCst);
+                shared.slow_mode.fetch_add(1, Ordering::SeqCst);
+                while shared.fast_inflight.load(Ordering::SeqCst) != 0 {
+                    std::thread::yield_now();
+                }
+            }
+            attempts += 1;
             self.slow.begin();
             match body(&mut self.slow) {
                 Ok(r) => match self.slow.commit() {
-                    Ok(()) => break r,
+                    Ok(()) => break Some(r),
                     Err(UstmAbort::Killed { .. }) => self.slow.wait_for_killer(),
                     Err(_) => {}
                 },
@@ -367,8 +476,82 @@ impl<'a> HybridThread<'a> {
                 }
             }
         };
-        self.shared.slow_mode.fetch_sub(1, Ordering::SeqCst);
+        shared.slow_mode.fetch_sub(1, Ordering::SeqCst);
+        shared.slow_held[self.tid].store(0, Ordering::SeqCst);
+        match committed {
+            Some(r) => r,
+            None => {
+                self.serial_escalations += 1;
+                self.run_serial(body)
+            }
+        }
+    }
+
+    /// The serial-irrevocable tier: take the serial gate, raise
+    /// `serial_mode` (fast transactions and plain accessors park at the
+    /// gate; slow transactions park between attempts), reap every dead
+    /// worker, drain both paths, then execute the body **directly** on
+    /// the heap — no locks, no ownership, no aborts, and no chaos
+    /// strikes, so completion is unconditional. The native livelock of
+    /// mutual kills that wedges a two-tier hybrid completes here.
+    fn run_serial<R>(&mut self, body: &mut impl FnMut(&mut dyn TxScope) -> Result<R, Stop>) -> R {
+        let shared = self.shared;
+        let (gate, _recovered) = lock_recover(&shared.serial_gate);
+        shared.serial_mode.store(1, Ordering::SeqCst);
+        loop {
+            // Dead workers can never deregister; give their
+            // registrations back before judging the drain.
+            shared.reap_all_dead();
+            if shared.fast_inflight.load(Ordering::SeqCst) == 0
+                && shared.slow_mode.load(Ordering::SeqCst) == 0
+            {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let mut scope = SerialScope { shared };
+        let r = match body(&mut scope) {
+            Ok(r) => r,
+            Err(Stop) => {
+                // Irrevocable: direct stores are already public, so a
+                // hand-made Stop cannot roll back. Bodies that fabricate
+                // aborts are scaffolding-only and never reach the serial
+                // tier; a real workload body only fails via its scope.
+                panic!("transaction body surfaced a hand-made Stop on the serial tier")
+            }
+        };
+        self.serial_commits += 1;
+        shared.serial_mode.store(0, Ordering::SeqCst);
+        drop(gate);
         r
+    }
+}
+
+/// The serial tier's [`TxScope`]: direct, uninstrumented heap access.
+/// Sound because `run_serial` holds every other path parked for the
+/// whole body, and no new fast/slow transaction starts until
+/// `serial_mode` drops.
+struct SerialScope<'a> {
+    shared: &'a NativeHybrid,
+}
+
+impl TxScope for SerialScope<'_> {
+    fn read(&mut self, addr: Addr) -> Result<u64, Stop> {
+        Ok(self.shared.tl2.peek(addr))
+    }
+
+    fn write(&mut self, addr: Addr, value: u64) -> Result<(), Stop> {
+        self.shared.tl2.poke(addr, value);
+        Ok(())
+    }
+
+    fn alloc(&mut self, words: u64) -> Result<Addr, Stop> {
+        Ok(self.shared.tl2.host_alloc(words))
+    }
+
+    fn work(&mut self, cycles: u64) -> Result<(), Stop> {
+        spin_work(cycles);
+        Ok(())
     }
 }
 
@@ -424,12 +607,87 @@ impl TmBackend for HybridThread<'_> {
     }
 
     fn commit_counts(&mut self) -> (u64, u64) {
-        (self.fast.stats.commits, self.slow.stats.commits)
+        // Serial commits count on the "slow" side, mirroring the
+        // simulated backend's sw + lock + serial rollup.
+        (
+            self.fast.stats.commits,
+            self.slow.stats.commits + self.serial_commits,
+        )
     }
 
     fn failovers(&mut self) -> u64 {
         self.failovers
     }
+
+    fn serial_commits(&mut self) -> u64 {
+        self.serial_commits
+    }
+
+    fn orphan_reclaims(&mut self) -> u64 {
+        self.shared.tl2.orphan_steals() + self.shared.ustm.orphan_releases()
+    }
+
+    fn helper_completions(&mut self) -> u64 {
+        self.shared.ustm.helper_completions()
+    }
+}
+
+/// One worker's join outcome from [`run_hybrid_threads_collect`]; see
+/// [`crate::tl2::NativeOutcome`].
+#[derive(Clone, Debug)]
+pub struct HybridOutcome<R> {
+    /// Worker tid (outcomes are returned in tid order).
+    pub tid: usize,
+    /// The worker's merged counters at join time.
+    pub stats: HybridStats,
+    /// The body's result, or the rendered panic payload.
+    pub result: Result<R, String>,
+}
+
+/// Runs `body` on `threads` real OS threads over `shared`, each with
+/// its own [`HybridThread`] handle and a common phase barrier, and
+/// collects **every** worker's outcome. A panicked worker is marked
+/// dead and immediately reaped (in-thread, before it exits): its USTM
+/// leavings are helper-completed or discarded, its TL2 stripe locks
+/// swept, and any gate registration it died holding is repaired, so
+/// survivors keep committing while the corpse is still warm.
+///
+/// Bodies that may be killed by panic injection must not use the phase
+/// barrier (a dead worker never arrives).
+pub fn run_hybrid_threads_collect<R: Send>(
+    shared: &NativeHybrid,
+    threads: usize,
+    body: impl Fn(&mut HybridThread<'_>) -> R + Sync,
+) -> Vec<HybridOutcome<R>> {
+    assert!(threads >= 1, "at least one thread");
+    let barrier = Barrier::new(threads);
+    let outcomes = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let barrier = &barrier;
+                let body = &body;
+                scope.spawn(move || {
+                    let mut th = HybridThread::new(shared, Some(barrier), tid, threads);
+                    let r = catch_unwind(AssertUnwindSafe(|| body(&mut th)));
+                    let stats = th.stats();
+                    let result = r.map_err(|payload| {
+                        shared.tl2.liveness().mark_dead(tid);
+                        shared.reap_dead(tid);
+                        chaos::panic_message(payload.as_ref())
+                    });
+                    HybridOutcome { tid, stats, result }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("hybrid worker wrapper itself panicked"))
+            .collect::<Vec<_>>()
+    });
+    if outcomes.iter().any(|o| o.result.is_err()) {
+        shared.reap_all_dead();
+    }
+    outcomes
 }
 
 /// Runs `body` on `threads` real OS threads over `shared`, each with
@@ -438,33 +696,29 @@ impl TmBackend for HybridThread<'_> {
 ///
 /// # Panics
 ///
-/// Propagates worker panics (verification failures, heap exhaustion).
+/// Panics if any worker panicked, naming every dead tid with its
+/// payload and per-thread counters. Use [`run_hybrid_threads_collect`]
+/// to observe the survivors instead.
 pub fn run_hybrid_threads<R: Send>(
     shared: &NativeHybrid,
     threads: usize,
     body: impl Fn(&mut HybridThread<'_>) -> R + Sync,
 ) -> (HybridStats, Vec<R>) {
-    assert!(threads >= 1, "at least one thread");
-    let barrier = Barrier::new(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|tid| {
-                let barrier = &barrier;
-                let body = &body;
-                scope.spawn(move || {
-                    let mut th = HybridThread::new(shared, Some(barrier), tid, threads);
-                    let r = body(&mut th);
-                    (th.stats(), r)
-                })
-            })
-            .collect();
-        let mut stats = HybridStats::default();
-        let mut results = Vec::with_capacity(threads);
-        for h in handles {
-            let (s, r) = h.join().expect("hybrid worker thread panicked");
-            stats.merge(&s);
-            results.push(r);
+    let outcomes = run_hybrid_threads_collect(shared, threads, body);
+    let mut stats = HybridStats::default();
+    let mut results = Vec::with_capacity(threads);
+    let mut deaths = Vec::new();
+    for o in outcomes {
+        stats.merge(&o.stats);
+        match o.result {
+            Ok(r) => results.push(r),
+            Err(msg) => deaths.push(format!("tid {}: {msg} (stats {:?})", o.tid, o.stats)),
         }
-        (stats, results)
-    })
+    }
+    assert!(
+        deaths.is_empty(),
+        "hybrid worker thread(s) panicked: {}",
+        deaths.join("; ")
+    );
+    (stats, results)
 }

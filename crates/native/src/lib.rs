@@ -42,6 +42,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod guard;
 mod heap;
 mod tl2;
@@ -49,9 +50,14 @@ mod tl2;
 pub mod hybrid;
 pub mod ustm;
 
+pub use chaos::{ChaosPlan, ChaosReport, FailSite, InjectedPanic, Liveness, NativeChaos, PanicAt};
 pub use guard::GuardStats;
-pub use hybrid::{run_hybrid_threads, HybridStats, HybridThread, NativeHybrid, NativeHybridPolicy};
+pub use hybrid::{
+    run_hybrid_threads, run_hybrid_threads_collect, HybridOutcome, HybridStats, HybridThread,
+    NativeHybrid, NativeHybridPolicy,
+};
 pub use tl2::{
-    run_threads, spin_work, DebugWindow, NativeStats, NativeThread, NativeTl2, NativeTxn,
+    run_threads, run_threads_collect, spin_work, DebugWindow, NativeOutcome, NativeStats,
+    NativeThread, NativeTl2, NativeTxn,
 };
 pub use ustm::{NativeUstm, NativeUstmStats, NativeUstmTxn};

@@ -20,11 +20,22 @@
 //!   with `Release` stores, release each lock stamped `wv`.
 //!
 //! A stripe lock word is `version << 1` when free and
-//! `(owner_tid << 1) | 1` when held, so readers distinguish
-//! locked-by-me during commit validation exactly like the simulated
-//! `LockWord { version, holder }`.
+//! `(((epoch << 8) | owner_tid) << 1) | 1` when held, so readers
+//! distinguish locked-by-me during commit validation exactly like the
+//! simulated `LockWord { version, holder }` — and, new in the chaos
+//! layer, so a waiter that observes a lock stamped by a **dead** owner
+//! (the [`crate::chaos::Liveness`] registry, marked precisely by the
+//! runner when a worker's body unwinds) can steal-and-invalidate the
+//! stripe instead of spinning forever. The epoch guards tid reuse: a
+//! revived worker advances its epoch, so its fresh locks can never be
+//! confused with its previous incarnation's orphans. Steals are sound
+//! because injected TL2 panics only fire *before* write-back begins
+//! (see [`crate::chaos::FailSite::panic_safe`]); the orphaned stripe
+//! still holds pre-transaction data, and restamping it with a fresh
+//! clock version merely invalidates concurrent readers.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 
@@ -32,6 +43,7 @@ use ufotm_core::{Stop, TmBackend, TxScope};
 use ufotm_machine::Addr;
 use ufotm_tl2::Tl2Abort;
 
+use crate::chaos::{self, FailSite, Liveness, NativeChaos, MAX_WORKERS};
 use crate::guard::GuardStats;
 use crate::heap::{CommitWindow, WordHeap};
 
@@ -63,6 +75,9 @@ pub struct NativeTl2 {
     clock: AtomicU64,
     next_free: AtomicU64,
     mask: u64,
+    chaos: NativeChaos,
+    liveness: Liveness,
+    orphan_steals: AtomicU64,
 }
 
 impl NativeTl2 {
@@ -97,7 +112,70 @@ impl NativeTl2 {
             clock: AtomicU64::new(0),
             next_free: AtomicU64::new(alloc_base_word),
             mask: lock_entries - 1,
+            chaos: NativeChaos::new(),
+            liveness: Liveness::new(),
+            orphan_steals: AtomicU64::new(0),
         }
+    }
+
+    /// The failpoint engine shared by every layer stacked on this heap
+    /// (USTM, guard, hybrid). Disarmed by default; arm it with a
+    /// [`crate::ChaosPlan`] to inject faults.
+    #[must_use]
+    pub fn chaos(&self) -> &NativeChaos {
+        &self.chaos
+    }
+
+    /// The worker-liveness registry for this world.
+    #[must_use]
+    pub fn liveness(&self) -> &Liveness {
+        &self.liveness
+    }
+
+    /// Orphaned stripe locks stolen from dead owners so far.
+    #[must_use]
+    pub fn orphan_steals(&self) -> u64 {
+        self.orphan_steals.load(Ordering::Relaxed)
+    }
+
+    /// Attempts to steal stripe `s`, whose lock word was observed as
+    /// `observed` (held). Succeeds only when the stamped owner is marked
+    /// dead **and** the stamped epoch matches the owner's current epoch
+    /// (so a revived tid's live locks are never stolen). The stripe is
+    /// restamped with a freshly bumped clock version, invalidating any
+    /// reader that sampled the orphaned word.
+    fn try_reclaim(&self, s: usize, observed: u64) -> bool {
+        if observed & 1 == 0 {
+            return false;
+        }
+        let tid = ((observed >> 1) & 0xFF) as usize;
+        let epoch = observed >> 9;
+        if !self.liveness.is_dead(tid) || self.liveness.epoch(tid) != epoch {
+            return false;
+        }
+        let wv = self.clock.fetch_add(1, Ordering::AcqRel) + 1;
+        let stolen = self.locks[s]
+            .compare_exchange(observed, wv << 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok();
+        if stolen {
+            self.orphan_steals.fetch_add(1, Ordering::Relaxed);
+        }
+        stolen
+    }
+
+    /// Walks the whole stripe table, stealing every lock orphaned by a
+    /// dead owner. Runners call this after any worker death so stripes
+    /// no live waiter happens to touch are still released. Returns the
+    /// number of steals.
+    pub fn sweep_orphans(&self) -> u64 {
+        let mut stolen = 0;
+        for s in 0..self.locks.len() {
+            let w = self.locks[s].load(Ordering::Acquire);
+            if w & 1 == 1 && self.try_reclaim(s, w) {
+                stolen += 1;
+            }
+        }
+        stolen
     }
 
     pub(crate) fn heap(&self) -> &WordHeap {
@@ -191,7 +269,7 @@ impl NativeTl2 {
         DebugWindow {
             _win: self
                 .heap
-                .open_window(addrs.iter().map(|&a| self.word_index(a))),
+                .open_window(addrs.iter().map(|&a| self.word_index(a)), None),
         }
     }
 
@@ -299,9 +377,18 @@ pub struct NativeTxn<'a> {
 }
 
 impl<'a> NativeTxn<'a> {
-    /// Creates a handle for thread `tid`.
+    /// Creates a handle for thread `tid`. Revives `tid` in the shared
+    /// liveness registry, advancing its ownership epoch so any lock
+    /// words orphaned by a previous incarnation of this tid become
+    /// stealable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` exceeds [`MAX_WORKERS`].
     #[must_use]
     pub fn new(shared: &'a NativeTl2, tid: usize) -> Self {
+        assert!(tid < MAX_WORKERS, "tid {tid} exceeds the liveness registry");
+        shared.liveness.revive(tid);
         NativeTxn {
             shared,
             tid,
@@ -315,7 +402,8 @@ impl<'a> NativeTxn<'a> {
     }
 
     fn my_lock_word(&self) -> u64 {
-        (self.tid as u64) << 1 | 1
+        let epoch = self.shared.liveness.epoch(self.tid);
+        ((epoch << 8) | self.tid as u64) << 1 | 1
     }
 
     /// Whether a transaction is active on this handle.
@@ -331,6 +419,7 @@ impl<'a> NativeTxn<'a> {
     /// Panics if a transaction is already active.
     pub fn begin(&mut self) {
         assert!(!self.active, "nested native transactions are not supported");
+        self.shared.liveness.beat(self.tid);
         self.rv = self.shared.clock.load(Ordering::Acquire);
         self.reads.clear();
         self.writes.clear();
@@ -360,6 +449,10 @@ impl<'a> NativeTxn<'a> {
     /// back; retry the transaction.
     pub fn read(&mut self, addr: Addr) -> Result<u64, Tl2Abort> {
         debug_assert!(self.active);
+        if self.shared.chaos.strike(self.tid, FailSite::Tl2Read) {
+            self.fail(Tl2Abort::ReadValidation);
+            return Err(Tl2Abort::ReadValidation);
+        }
         if let Some(&v) = self.writes.get(&addr.0) {
             return Ok(v);
         }
@@ -373,6 +466,11 @@ impl<'a> NativeTxn<'a> {
             self.reads.push(s);
             Ok(value)
         } else {
+            // A lock stamped by a dead owner would make this stripe
+            // unreadable forever; steal it so the retry can proceed.
+            if post & 1 == 1 {
+                self.shared.try_reclaim(s, post);
+            }
             self.fail(Tl2Abort::ReadValidation);
             Err(Tl2Abort::ReadValidation)
         }
@@ -419,6 +517,10 @@ impl<'a> NativeTxn<'a> {
             self.stats.commits += 1;
             return Ok(());
         }
+        if self.shared.chaos.strike(self.tid, FailSite::Tl2Commit) {
+            self.fail(Tl2Abort::CommitValidation);
+            return Err(Tl2Abort::CommitValidation);
+        }
         // Phase 1: acquire write locks in canonical (sorted) stripe order.
         let mut stripes: Vec<usize> = self
             .writes
@@ -430,7 +532,10 @@ impl<'a> NativeTxn<'a> {
         let mine = self.my_lock_word();
         let mut held: Vec<(usize, u64)> = Vec::with_capacity(stripes.len());
         for &s in &stripes {
-            let cur = self.shared.locks[s].load(Ordering::Relaxed);
+            let mut cur = self.shared.locks[s].load(Ordering::Relaxed);
+            if cur & 1 == 1 && self.shared.try_reclaim(s, cur) {
+                cur = self.shared.locks[s].load(Ordering::Relaxed);
+            }
             let acquired = cur & 1 == 0
                 && self.shared.locks[s]
                     .compare_exchange(cur, mine, Ordering::Acquire, Ordering::Relaxed)
@@ -441,6 +546,13 @@ impl<'a> NativeTxn<'a> {
                 return Err(Tl2Abort::LockBusy);
             }
             held.push((s, cur));
+        }
+        // Locks held, nothing published yet: a panic injected here
+        // orphans the stripes, and a steal is still sound.
+        if self.shared.chaos.strike(self.tid, FailSite::Tl2LockHeld) {
+            self.rollback_locks(&held);
+            self.fail(Tl2Abort::LockBusy);
+            return Err(Tl2Abort::LockBusy);
         }
         // Phase 2: increment the global clock.
         let wv = self.shared.clock.fetch_add(1, Ordering::AcqRel) + 1;
@@ -461,6 +573,9 @@ impl<'a> NativeTxn<'a> {
                     .1;
                 displaced >> 1 > self.rv
             } else if l & 1 == 1 {
+                // Still abort this attempt, but free a dead owner's
+                // stripe so the retry does not hit the same wall.
+                self.shared.try_reclaim(s, l);
                 true
             } else {
                 l >> 1 > self.rv
@@ -471,7 +586,10 @@ impl<'a> NativeTxn<'a> {
                 return Err(Tl2Abort::CommitValidation);
             }
         }
-        // Phase 4: publish the write set.
+        // Phase 4: publish the write set. Delay-only failpoint: a panic
+        // mid-publication would tear the heap with no redo record to
+        // recover from ([`FailSite::Tl2WriteBack`] is not panic-safe).
+        let _ = self.shared.chaos.strike(self.tid, FailSite::Tl2WriteBack);
         for (&a, &v) in &self.writes {
             self.shared
                 .heap
@@ -611,6 +729,71 @@ impl TmBackend for NativeThread<'_> {
     fn threads(&self) -> usize {
         self.threads
     }
+
+    fn orphan_reclaims(&mut self) -> u64 {
+        self.txn.shared.orphan_steals()
+    }
+}
+
+/// One worker's join outcome from [`run_threads_collect`]: its per-thread
+/// counters survive even when the body panicked, so torture tests can
+/// assert that the *surviving* threads still committed.
+#[derive(Clone, Debug)]
+pub struct NativeOutcome<R> {
+    /// Worker tid (outcomes are returned in tid order).
+    pub tid: usize,
+    /// The worker's event counters at join time.
+    pub stats: NativeStats,
+    /// The body's result, or the rendered panic payload.
+    pub result: Result<R, String>,
+}
+
+/// Runs `body` on `threads` real OS threads over `shared`, each with its
+/// own [`NativeThread`] handle and a common phase barrier, and collects
+/// **every** worker's outcome — a panicked worker is marked dead in the
+/// liveness registry (in-thread, before it exits, so survivors start
+/// reclaiming its locks while still running), its panic payload is
+/// rendered into the outcome, and its counters survive.
+///
+/// After all workers join, if any died, the stripe table is swept for
+/// remaining orphans.
+///
+/// Bodies that may be killed by panic injection must not use the phase
+/// barrier: a dead worker never arrives and the survivors would wait
+/// forever.
+pub fn run_threads_collect<R: Send>(
+    shared: &NativeTl2,
+    threads: usize,
+    body: impl Fn(&mut NativeThread<'_>) -> R + Sync,
+) -> Vec<NativeOutcome<R>> {
+    assert!(threads >= 1, "at least one thread");
+    let barrier = Barrier::new(threads);
+    let outcomes = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let barrier = &barrier;
+                let body = &body;
+                scope.spawn(move || {
+                    let mut th = NativeThread::new(shared, barrier, tid, threads);
+                    let r = catch_unwind(AssertUnwindSafe(|| body(&mut th)));
+                    let stats = th.stats();
+                    let result = r.map_err(|payload| {
+                        shared.liveness.mark_dead(tid);
+                        chaos::panic_message(payload.as_ref())
+                    });
+                    NativeOutcome { tid, stats, result }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("native worker wrapper itself panicked"))
+            .collect::<Vec<_>>()
+    });
+    if outcomes.iter().any(|o| o.result.is_err()) {
+        shared.sweep_orphans();
+    }
+    outcomes
 }
 
 /// Runs `body` on `threads` real OS threads over `shared`, each with its
@@ -619,33 +802,29 @@ impl TmBackend for NativeThread<'_> {
 ///
 /// # Panics
 ///
-/// Propagates worker panics (verification failures, heap exhaustion).
+/// Panics if any worker panicked, naming every dead tid with its payload
+/// and per-thread counters. Use [`run_threads_collect`] to observe the
+/// survivors instead.
 pub fn run_threads<R: Send>(
     shared: &NativeTl2,
     threads: usize,
     body: impl Fn(&mut NativeThread<'_>) -> R + Sync,
 ) -> (NativeStats, Vec<R>) {
-    assert!(threads >= 1, "at least one thread");
-    let barrier = Barrier::new(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|tid| {
-                let barrier = &barrier;
-                let body = &body;
-                scope.spawn(move || {
-                    let mut th = NativeThread::new(shared, barrier, tid, threads);
-                    let r = body(&mut th);
-                    (th.stats(), r)
-                })
-            })
-            .collect();
-        let mut stats = NativeStats::default();
-        let mut results = Vec::with_capacity(threads);
-        for h in handles {
-            let (s, r) = h.join().expect("native worker thread panicked");
-            stats.merge(&s);
-            results.push(r);
+    let outcomes = run_threads_collect(shared, threads, body);
+    let mut stats = NativeStats::default();
+    let mut results = Vec::with_capacity(threads);
+    let mut deaths = Vec::new();
+    for o in outcomes {
+        stats.merge(&o.stats);
+        match o.result {
+            Ok(r) => results.push(r),
+            Err(msg) => deaths.push(format!("tid {}: {msg} (stats {:?})", o.tid, o.stats)),
         }
-        (stats, results)
-    })
+    }
+    assert!(
+        deaths.is_empty(),
+        "native worker thread(s) panicked: {}",
+        deaths.join("; ")
+    );
+    (stats, results)
 }

@@ -45,12 +45,13 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use ufotm_core::{Stop, TxScope};
 use ufotm_machine::Addr;
 use ufotm_ustm::UstmAbort;
 
+use crate::chaos::{lock_recover, FailSite};
 use crate::tl2::{spin_work, NativeTl2};
 
 /// Same Fibonacci hash as the simulated otable (`Otable::index_of`), so
@@ -63,6 +64,9 @@ const LINE_BYTES: u64 = 64;
 const PHASE_INACTIVE: u64 = 0;
 const PHASE_ACTIVE: u64 = 1;
 const PHASE_COMMITTING: u64 = 2;
+/// A helper won the race to reclaim a dead owner's slot and is completing
+/// (or discarding) its work; everyone else waits for the slot to retire.
+const PHASE_REAPING: u64 = 3;
 
 /// Packs a status slot: `[ts:40 | killer+1:16 | phase:8]`. `killer+1`
 /// so that 0 means "not killed" and thread id 0 can still kill.
@@ -93,6 +97,9 @@ struct OtEntry {
     readers: Vec<(usize, u64)>,
 }
 
+/// A published redo record: `(word addr, value)` pairs in commit order.
+type RedoRecord = Vec<(u64, u64)>;
+
 /// Shared native USTM state: the sharded ownership table, the per-thread
 /// status slots, and the timestamp source. Operates over the word heap
 /// of a [`NativeTl2`] (the two paths of the hybrid share one heap).
@@ -102,6 +109,16 @@ pub struct NativeUstm {
     slots: Box<[AtomicU64]>,
     next_ts: AtomicU64,
     mask: u64,
+    /// Per-thread published redo records `(word addr, value)`, written
+    /// *before* the seal CAS so that a committer that dies sealed leaves
+    /// everything a helper needs to finish its write-back. Only the
+    /// owner writes its slot while alive; helpers read it only after
+    /// winning the `PHASE_REAPING` CAS on a dead owner, so the two never
+    /// race.
+    records: Box<[Mutex<RedoRecord>]>,
+    poison_recovered: AtomicU64,
+    helper_completions: AtomicU64,
+    orphan_releases: AtomicU64,
 }
 
 impl NativeUstm {
@@ -124,20 +141,206 @@ impl NativeUstm {
             slots: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             next_ts: AtomicU64::new(0),
             mask: otable_bins - 1,
+            records: (0..threads).map(|_| Mutex::new(Vec::new())).collect(),
+            poison_recovered: AtomicU64::new(0),
+            helper_completions: AtomicU64::new(0),
+            orphan_releases: AtomicU64::new(0),
         }
     }
 
-    fn bin(&self, line: u64) -> &Mutex<Vec<OtEntry>> {
-        &self.bins[(line.wrapping_mul(BIN_MULT) >> 32 & self.mask) as usize]
+    fn bin_index(&self, line: u64) -> usize {
+        (line.wrapping_mul(BIN_MULT) >> 32 & self.mask) as usize
+    }
+
+    /// Locks a bin by index, recovering from poison instead of cascading
+    /// the panic across every thread that touches the bin afterwards. A
+    /// bin is only poisoned by a worker that panicked *while holding it*
+    /// (possible only at an injected failpoint or a genuine bug outside
+    /// the protocol's own critical sections — they contain no panics);
+    /// the chain itself is still structurally sound ([`Self::audit`]),
+    /// so recovery is safe and the event is just counted.
+    fn lock_bin_idx(&self, idx: usize) -> MutexGuard<'_, Vec<OtEntry>> {
+        let (g, recovered) = lock_recover(&self.bins[idx]);
+        if recovered {
+            self.poison_recovered.fetch_add(1, Ordering::Relaxed);
+        }
+        g
+    }
+
+    fn lock_bin(&self, line: u64) -> MutexGuard<'_, Vec<OtEntry>> {
+        self.lock_bin_idx(self.bin_index(line))
     }
 
     /// Entries currently in the table (all bins) — test observability.
     #[must_use]
     pub fn owned_lines(&self) -> usize {
-        self.bins
-            .iter()
-            .map(|b| b.lock().expect("otable bin poisoned").len())
+        (0..self.bins.len())
+            .map(|i| self.lock_bin_idx(i).len())
             .sum()
+    }
+
+    /// Otable-bin poison recoveries so far.
+    #[must_use]
+    pub fn poison_recovered(&self) -> u64 {
+        self.poison_recovered.load(Ordering::Relaxed)
+    }
+
+    /// Sealed redo records of dead committers finished by helpers.
+    #[must_use]
+    pub fn helper_completions(&self) -> u64 {
+        self.helper_completions.load(Ordering::Relaxed)
+    }
+
+    /// Unsealed dead transactions whose ownerships were swept.
+    #[must_use]
+    pub fn orphan_releases(&self) -> u64 {
+        self.orphan_releases.load(Ordering::Relaxed)
+    }
+
+    /// Structural consistency audit of the ownership table, run after
+    /// poison recovery (and by torture tests at quiescence). Checks that
+    /// every entry's line hashes to the bin it chains in, that no bin
+    /// holds two entries for one line, and that no entry lists the same
+    /// reader twice.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violation found.
+    pub fn audit(&self) -> Result<(), String> {
+        for i in 0..self.bins.len() {
+            let bin = self.lock_bin_idx(i);
+            for (pos, e) in bin.iter().enumerate() {
+                if self.bin_index(e.line) != i {
+                    return Err(format!("line {} chained into wrong bin {i}", e.line));
+                }
+                if bin[..pos].iter().any(|prev| prev.line == e.line) {
+                    return Err(format!("duplicate entries for line {} in bin {i}", e.line));
+                }
+                for (rpos, &(t, _)) in e.readers.iter().enumerate() {
+                    if e.readers[..rpos].iter().any(|&(t2, _)| t2 == t) {
+                        return Err(format!("line {}: reader {t} listed twice", e.line));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes every ownership record held by `victim` across all bins,
+    /// garbage-collecting emptied entries.
+    fn sweep_owner(&self, victim: usize) {
+        for i in 0..self.bins.len() {
+            let mut bin = self.lock_bin_idx(i);
+            for e in bin.iter_mut() {
+                e.readers.retain(|&(t, _)| t != victim);
+                if matches!(e.writer, Some((t, _)) if t == victim) {
+                    e.writer = None;
+                }
+            }
+            bin.retain(|e| e.writer.is_some() || !e.readers.is_empty());
+        }
+    }
+
+    /// Reclaims everything a **dead** worker left behind: a sealed
+    /// (`COMMITTING`) transaction is *helper-completed* — its published
+    /// redo record is replayed through a fresh guard window (idempotent:
+    /// the full record is replayed even if the dead committer had
+    /// already stored some of it) — while an unsealed (`ACTIVE`) one is
+    /// simply discarded; in both cases its ownership records are swept
+    /// and its status slot retired.
+    ///
+    /// Racing helpers serialize on a `COMMITTING/ACTIVE → REAPING` CAS:
+    /// the winner does the work, losers wait for the slot to retire.
+    /// Callers must only name a victim that the liveness registry has
+    /// marked dead (i.e. its body has actually unwound).
+    pub fn reclaim_dead(&self, heap: &NativeTl2, victim: usize) {
+        debug_assert!(
+            heap.liveness().is_dead(victim),
+            "reclaiming a live worker's ownerships"
+        );
+        loop {
+            let cur = self.slots[victim].load(Ordering::SeqCst);
+            let ts = cur >> 24;
+            match slot_phase(cur) {
+                PHASE_COMMITTING => {
+                    if self.slots[victim]
+                        .compare_exchange(
+                            cur,
+                            pack(ts, 0, PHASE_REAPING),
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    let record: Vec<(u64, u64)> = {
+                        let (rec, recovered) = lock_recover(&self.records[victim]);
+                        if recovered {
+                            self.poison_recovered.fetch_add(1, Ordering::Relaxed);
+                        }
+                        rec.clone()
+                    };
+                    {
+                        let _win = heap
+                            .heap()
+                            .open_window(record.iter().map(|&(a, _)| (a / 8) as usize), None);
+                        for &(a, v) in &record {
+                            heap.heap()
+                                .shadow_word((a / 8) as usize)
+                                .store(v, Ordering::Release);
+                        }
+                    }
+                    self.sweep_owner(victim);
+                    self.slots[victim].store(0, Ordering::SeqCst);
+                    self.helper_completions.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                PHASE_ACTIVE => {
+                    if self.slots[victim]
+                        .compare_exchange(
+                            cur,
+                            pack(ts, 0, PHASE_REAPING),
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.sweep_owner(victim);
+                    self.slots[victim].store(0, Ordering::SeqCst);
+                    self.orphan_releases.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                PHASE_REAPING => {
+                    // Another helper won; wait for it to retire the slot.
+                    while slot_phase(self.slots[victim].load(Ordering::SeqCst)) == PHASE_REAPING {
+                        std::thread::yield_now();
+                    }
+                    return;
+                }
+                _ => {
+                    // INACTIVE: the victim died between transactions.
+                    // Sweep anyway — idempotent, and it catches any
+                    // leftovers from exotic unwind paths.
+                    self.sweep_owner(victim);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Test scaffolding: deliberately poisons the bin that `line` chains
+    /// into, reproducing the cascade the poison-tolerant bins defend
+    /// against.
+    #[doc(hidden)]
+    pub fn debug_poison_bin(&self, line: u64) {
+        let idx = self.bin_index(line);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = self.bins[idx].lock();
+            panic!("deliberate bin poison (test scaffolding)");
+        }));
     }
 }
 
@@ -221,6 +424,11 @@ impl<'a> NativeUstmTxn<'a> {
     #[must_use]
     pub fn new(heap: &'a NativeTl2, ustm: &'a NativeUstm, tid: usize) -> Self {
         assert!(tid < ustm.slots.len(), "tid {tid} has no USTM status slot");
+        assert!(
+            tid < crate::chaos::MAX_WORKERS,
+            "tid {tid} exceeds the liveness registry"
+        );
+        heap.liveness().revive(tid);
         NativeUstmTxn {
             heap,
             ustm,
@@ -253,6 +461,7 @@ impl<'a> NativeUstmTxn<'a> {
     /// Panics if a transaction is already active.
     pub fn begin(&mut self) {
         assert!(!self.active, "nested native transactions are not supported");
+        self.heap.liveness().beat(self.tid);
         self.ts = self.ustm.next_ts.fetch_add(1, Ordering::SeqCst) + 1;
         self.my_slot()
             .store(pack(self.ts, 0, PHASE_ACTIVE), Ordering::SeqCst);
@@ -273,7 +482,7 @@ impl<'a> NativeUstmTxn<'a> {
     /// lock at a time), garbage-collecting empty entries.
     fn release_ownership(&mut self) {
         for &line in &self.reads {
-            let mut bin = self.ustm.bin(line).lock().expect("otable bin poisoned");
+            let mut bin = self.ustm.lock_bin(line);
             if let Some(pos) = bin.iter().position(|e| e.line == line) {
                 bin[pos].readers.retain(|&(t, _)| t != self.tid);
                 if bin[pos].readers.is_empty() && bin[pos].writer.is_none() {
@@ -282,7 +491,7 @@ impl<'a> NativeUstmTxn<'a> {
             }
         }
         for &line in &self.write_owned {
-            let mut bin = self.ustm.bin(line).lock().expect("otable bin poisoned");
+            let mut bin = self.ustm.lock_bin(line);
             if let Some(pos) = bin.iter().position(|e| e.line == line) {
                 if matches!(bin[pos].writer, Some((t, _)) if t == self.tid) {
                     bin[pos].writer = None;
@@ -354,6 +563,16 @@ impl<'a> NativeUstmTxn<'a> {
         std::thread::yield_now();
     }
 
+    /// If the owner this transaction is stalled behind has died, reclaim
+    /// its leavings (helper-complete a sealed record, discard an
+    /// unsealed one) so the stall loop can make progress instead of
+    /// spinning on a ghost forever.
+    fn unblock_if_dead(&self, blocker: usize) {
+        if self.heap.liveness().is_dead(blocker) {
+            self.ustm.reclaim_dead(self.heap, blocker);
+        }
+    }
+
     /// Acquires read ownership of `line`. Never holds the bin lock
     /// while waiting.
     fn acquire_read(&mut self, line: u64) -> Result<(), UstmAbort> {
@@ -361,8 +580,9 @@ impl<'a> NativeUstmTxn<'a> {
             if let Some(by) = self.doomed() {
                 return Err(self.unwind_killed(by));
             }
+            let blocker;
             {
-                let mut bin = self.ustm.bin(line).lock().expect("otable bin poisoned");
+                let mut bin = self.ustm.lock_bin(line);
                 match bin.iter_mut().find(|e| e.line == line) {
                     Some(e) => {
                         if let Some((wtid, wts)) = e.writer {
@@ -372,6 +592,7 @@ impl<'a> NativeUstmTxn<'a> {
                             }
                             // Fall through to stall (younger writer: until
                             // it unwinds; older/sealed: until it retires).
+                            blocker = wtid;
                         } else {
                             if !e.readers.iter().any(|&(t, _)| t == self.tid) {
                                 e.readers.push((self.tid, self.ts));
@@ -389,6 +610,7 @@ impl<'a> NativeUstmTxn<'a> {
                     }
                 }
             }
+            self.unblock_if_dead(blocker);
             self.stall();
         }
     }
@@ -400,8 +622,9 @@ impl<'a> NativeUstmTxn<'a> {
             if let Some(by) = self.doomed() {
                 return Err(self.unwind_killed(by));
             }
+            let blocker;
             {
-                let mut bin = self.ustm.bin(line).lock().expect("otable bin poisoned");
+                let mut bin = self.ustm.lock_bin(line);
                 let e = match bin.iter_mut().find(|e| e.line == line) {
                     Some(e) => e,
                     None => {
@@ -418,16 +641,19 @@ impl<'a> NativeUstmTxn<'a> {
                     if wts > self.ts {
                         self.issue_kill(wtid, wts);
                     }
+                    blocker = wtid;
                 } else if let Some(&(rtid, rts)) = e.readers.iter().find(|&&(t, _)| t != self.tid) {
                     if rts > self.ts {
                         self.issue_kill(rtid, rts);
                     }
+                    blocker = rtid;
                 } else {
                     e.writer = Some((self.tid, self.ts));
                     self.write_owned.push(line);
                     return Ok(());
                 }
             }
+            self.unblock_if_dead(blocker);
             self.stall();
         }
     }
@@ -441,6 +667,9 @@ impl<'a> NativeUstmTxn<'a> {
     /// the transaction has already been rolled back.
     pub fn read(&mut self, addr: Addr) -> Result<u64, UstmAbort> {
         debug_assert!(self.active);
+        if self.heap.chaos().strike(self.tid, FailSite::UstmRead) {
+            return Err(self.abort_explicit());
+        }
         if let Some(by) = self.doomed() {
             return Err(self.unwind_killed(by));
         }
@@ -522,7 +751,24 @@ impl<'a> NativeUstmTxn<'a> {
         for line in lines {
             self.acquire_write(line)?;
         }
+        // Ownerships held, not yet sealed: a forced abort (or injected
+        // panic) here still unwinds as a plain ACTIVE rollback.
+        if self.heap.chaos().strike(self.tid, FailSite::UstmCommit) {
+            return Err(self.abort_explicit());
+        }
         if !self.writes.is_empty() {
+            // Publish the redo record *before* sealing: once sealed, this
+            // transaction is unkillable and everyone stalls behind it, so
+            // if it dies a helper must be able to finish the write-back
+            // from this record alone.
+            {
+                let (mut rec, recovered) = lock_recover(&self.ustm.records[self.tid]);
+                if recovered {
+                    self.ustm.poison_recovered.fetch_add(1, Ordering::Relaxed);
+                }
+                rec.clear();
+                rec.extend(self.writes.iter().map(|(&a, &v)| (a, v)));
+            }
             // Phase 2: seal. After this CAS no kill can land (killers
             // observe COMMITTING and stall until we retire).
             if self
@@ -546,10 +792,17 @@ impl<'a> NativeUstmTxn<'a> {
             // ownership; the TL2 fast path is quiesced by the hybrid's
             // mode gate.
             {
-                let _win = self
-                    .heap
-                    .heap()
-                    .open_window(self.writes.keys().map(|&a| (a / 8) as usize));
+                let _win = self.heap.heap().open_window(
+                    self.writes.keys().map(|&a| (a / 8) as usize),
+                    Some((self.heap.chaos(), self.tid)),
+                );
+                // Sealed, window up, write-back not yet begun: a delay
+                // here stalls the committer with the public view
+                // protected (the exact race the plain-access tests
+                // drive), and a panic leaves a sealed record for
+                // helper-completion — the window guard restores
+                // protection on the way out.
+                let _ = self.heap.chaos().strike(self.tid, FailSite::UstmSealed);
                 for (&a, &v) in &self.writes {
                     self.heap
                         .heap()
@@ -585,6 +838,12 @@ impl<'a> NativeUstmTxn<'a> {
             return;
         }
         while slot.load(Ordering::SeqCst) == s0 {
+            // A killer that died before retiring would otherwise park
+            // this victim forever; reclaiming it advances the slot.
+            if self.heap.liveness().is_dead(k) {
+                self.ustm.reclaim_dead(self.heap, k);
+                return;
+            }
             std::thread::yield_now();
         }
     }

@@ -153,4 +153,8 @@ impl TmBackend for SimBackend<'_> {
     fn failovers(&mut self) -> u64 {
         self.ctx.with(|w| w.shared.tm.stats.total_failovers())
     }
+
+    fn serial_commits(&mut self) -> u64 {
+        self.ctx.with(|w| w.shared.tm.stats.serial_commits)
+    }
 }
