@@ -4,7 +4,10 @@
 //! dependency-free lint framework that parses every workspace source file
 //! (with the hand-rolled lexer in [`lexer`] — the workspace deliberately has
 //! no third-party dependencies, so there is no `syn` to lean on) and runs
-//! the five protocol passes in [`lints`].
+//! the protocol passes in [`lints`]. Single-file token passes are joined
+//! by workspace-wide passes built on the function/call-graph index in
+//! [`callgraph`] (D9's async-signal-safety walk needs to see every crate
+//! at once).
 //!
 //! The rules it enforces are the ones the compiler cannot: determinism of
 //! the simulated machine (no hasher-ordered iteration, no host clocks or
@@ -35,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
 pub mod lints;
 
@@ -363,6 +367,10 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Findings silenced by justified allow markers.
     pub suppressed: usize,
+    /// Suppression counts per lint — the diffable inventory CI uploads, so
+    /// a PR that grows the number of justified exceptions shows up in the
+    /// artifact diff even though the gate still passes.
+    pub suppressed_by_lint: BTreeMap<&'static str, usize>,
     /// Findings silenced by the baseline.
     pub baselined: usize,
     /// Baseline entries that no longer match anything (stale).
@@ -386,6 +394,18 @@ impl Report {
 pub fn analyze_sources(mut files: Vec<SourceFile>, baseline: &[BaselineEntry]) -> Report {
     files.sort_by(|a, b| a.path.cmp(&b.path));
     let index = WorkspaceIndex::build(&files);
+    // Workspace passes (D9) see every file at once; their findings are
+    // bucketed by path so the per-file suppression machinery below governs
+    // them exactly like single-file findings.
+    let graph = callgraph::CallGraph::build(&files);
+    let mut ws_buckets: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    {
+        let mut ws: Vec<Finding> = Vec::new();
+        lints::run_workspace_passes(&files, &graph, &mut ws);
+        for f in ws {
+            ws_buckets.entry(f.path.clone()).or_default().push(f);
+        }
+    }
     let mut report = Report {
         files: files.len(),
         ..Report::default()
@@ -394,6 +414,9 @@ pub fn analyze_sources(mut files: Vec<SourceFile>, baseline: &[BaselineEntry]) -
     for f in &files {
         let mut raw: Vec<Finding> = Vec::new();
         lints::run_passes(f, &index, &mut raw);
+        if let Some(mut ws) = ws_buckets.remove(&f.path) {
+            raw.append(&mut ws);
+        }
         let mut sups = parse_suppressions(f);
         raw.retain(|finding| {
             let suppressed = sups.iter_mut().any(|s| {
@@ -406,6 +429,7 @@ pub fn analyze_sources(mut files: Vec<SourceFile>, baseline: &[BaselineEntry]) -
             });
             if suppressed {
                 report.suppressed += 1;
+                *report.suppressed_by_lint.entry(finding.lint).or_default() += 1;
             }
             !suppressed
         });
@@ -584,9 +608,22 @@ pub fn render_json(report: &Report) -> String {
     if !report.findings.is_empty() {
         s.push_str("\n  ");
     }
+    s.push_str("],\n  \"suppressed_by_lint\": {");
+    for (i, (lint, n)) in report.suppressed_by_lint.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\n    {}: {}",
+            if i == 0 { "" } else { "," },
+            json_str(lint),
+            n
+        );
+    }
+    if !report.suppressed_by_lint.is_empty() {
+        s.push_str("\n  ");
+    }
     let _ = write!(
         s,
-        "],\n  \"files\": {},\n  \"suppressed\": {},\n  \"baselined\": {},\n  \
+        "}},\n  \"files\": {},\n  \"suppressed\": {},\n  \"baselined\": {},\n  \
          \"stale_baseline\": {},\n  \"clean\": {}\n}}\n",
         report.files,
         report.suppressed,

@@ -28,6 +28,28 @@
 //!   `ufotm_native::chaos::lock_recover`, which recovers the guard and
 //!   reports the poison.
 //!
+//!   D5 and D8 both match the chained form *and* the bound form
+//!   (`let r = m.load(…); … r.unwrap()`), via a per-function local
+//!   binding dataflow.
+//!
+//! Two passes ride on the workspace call graph ([`crate::callgraph`]):
+//!
+//! * [`SIGNAL_UNSAFE_REACHABLE`] — anything reachable from a signal
+//!   handler root (a function registered via `rt_sigaction`, or marked
+//!   `analyze: signal-handler-root`) that allocates, takes a lock,
+//!   panics, or touches stdio. A signal handler interrupts an arbitrary
+//!   instruction on an arbitrary thread: an allocation can deadlock on
+//!   the allocator's own lock, a mutex can self-deadlock, and a panic
+//!   unwinds through a frame that never expected it — exactly when the
+//!   strong-atomicity guard is busiest. The guard's handler must stay
+//!   atomics + raw syscalls, and this pass machine-checks that instead
+//!   of trusting a doc comment.
+//! * [`UNSAFE_WITHOUT_SAFETY_COMMENT`] — an `unsafe` block, fn, impl, or
+//!   trait in a [`HOST_EXEMPT`] crate without a `// SAFETY:` comment on
+//!   the same line or the contiguous comment run above. The native
+//!   guard's correctness argument lives in those justifications; an
+//!   unexplained `unsafe` is an unreviewable one.
+//!
 //! One meta pass guards the scope lists themselves:
 //!
 //! * [`UNCLASSIFIED_CRATE`] — a crate that is in neither [`DETERMINISTIC`]
@@ -35,7 +57,10 @@
 //!   out of the determinism lints (the `ufotm-native` crate is the first
 //!   deliberate exemption; every exemption records its justification).
 
-use crate::lexer::TokenKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::CallGraph;
+use crate::lexer::{Token, TokenKind};
 use crate::{Finding, SourceFile, WorkspaceIndex};
 
 /// Lint name: nondeterministic iteration in a cycle-charged crate.
@@ -52,6 +77,10 @@ pub const PANICKING_MACHINE_ACCESS: &str = "panicking-machine-access";
 pub const PERSIST_BYPASS: &str = "persist-bypass";
 /// Lint name: unwrapped `Mutex::lock` in a real-thread crate.
 pub const POISONED_LOCK_CASCADE: &str = "poisoned-lock-cascade";
+/// Lint name: allocation/lock/panic/stdio reachable from a signal handler.
+pub const SIGNAL_UNSAFE_REACHABLE: &str = "signal-unsafe-reachable";
+/// Lint name: `unsafe` without a `// SAFETY:` justification.
+pub const UNSAFE_WITHOUT_SAFETY_COMMENT: &str = "unsafe-without-safety-comment";
 /// Lint name: crate in neither the deterministic nor the host-exempt list.
 pub const UNCLASSIFIED_CRATE: &str = "unclassified-crate";
 /// Pseudo-lint: a suppression marker missing its `-- <reason>`.
@@ -68,6 +97,8 @@ pub const LINTS: &[&str] = &[
     PANICKING_MACHINE_ACCESS,
     PERSIST_BYPASS,
     POISONED_LOCK_CASCADE,
+    SIGNAL_UNSAFE_REACHABLE,
+    UNSAFE_WITHOUT_SAFETY_COMMENT,
     UNCLASSIFIED_CRATE,
 ];
 
@@ -151,6 +182,36 @@ const SHIFT_BASES: &[&str] = &["1", "1u8", "1u16", "1u32", "1u64", "1u128", "1us
 /// checked helper itself.
 const SHIFT_HELPERS: &[&str] = &["cpu_bit"];
 
+/// Allocating constructors (D9): `Type::anything(…)` on these types goes
+/// through the global allocator, which may hold its own lock at the
+/// instant a signal interrupts the thread.
+const ALLOC_TYPES: &[&str] = &["Box", "Vec", "String"];
+
+/// Allocating macros (D9).
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// Allocating methods (D9).
+const ALLOC_METHODS: &[&str] = &["to_string", "to_owned", "to_vec"];
+
+/// Panicking macros (D9): unwinding out of a signal handler is UB-adjacent
+/// at best, and the panic machinery itself allocates and takes locks.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "unreachable",
+    "todo",
+    "unimplemented",
+];
+
+/// Stdio macros (D9): `println!` takes the stdout lock — a handler
+/// interrupting a thread that holds it deadlocks.
+const STDIO_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
 /// Runs every pass that applies to `file`, appending findings to `out`.
 pub fn run_passes(file: &SourceFile, index: &WorkspaceIndex, out: &mut Vec<Finding>) {
     let in_cycle_charged = CYCLE_CHARGED.contains(&file.crate_name.as_str());
@@ -162,6 +223,7 @@ pub fn run_passes(file: &SourceFile, index: &WorkspaceIndex, out: &mut Vec<Findi
     if in_deterministic {
         host_nondeterminism(file, out);
         panicking_machine_access(file, out);
+        bound_result_unwraps(file, out, BoundKind::Machine);
     }
     if file.crate_name == "machine" {
         persist_bypass(file, out);
@@ -170,10 +232,20 @@ pub fn run_passes(file: &SourceFile, index: &WorkspaceIndex, out: &mut Vec<Findi
     let host_exempt = HOST_EXEMPT.iter().any(|(c, _)| *c == file.crate_name);
     if host_exempt {
         poisoned_lock_cascade(file, out);
+        bound_result_unwraps(file, out, BoundKind::Lock);
+        unsafe_without_safety_comment(file, out);
     }
     if !in_deterministic && !host_exempt {
         unclassified_crate(file, out);
     }
+}
+
+/// Runs the call-graph passes, which see the whole workspace at once
+/// (call edges cross files). Findings land on whichever file holds the
+/// offending line, so the normal per-file suppression machinery governs
+/// them like any other finding.
+pub fn run_workspace_passes(files: &[SourceFile], graph: &CallGraph, out: &mut Vec<Finding>) {
+    signal_unsafe_reachable(files, graph, out);
 }
 
 /// Meta pass: a crate absent from both scope lists gets one finding per
@@ -639,6 +711,277 @@ fn poisoned_lock_cascade(file: &SourceFile, out: &mut Vec<Finding>) {
                     panicky.text
                 ),
             );
+        }
+    }
+}
+
+/// Which call family the bound-result dataflow tracks.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BoundKind {
+    /// Machine accesses ([`MACHINE_METHODS`]) — the D5 bound form.
+    Machine,
+    /// `Mutex::lock` — the D8 bound form.
+    Lock,
+}
+
+/// Whether the expression starting after token `eq` (a `=`) and ending at
+/// its statement's `;` contains a tracked call; returns the method name.
+fn expr_tracked_call(t: &[Token], eq: usize, kind: BoundKind) -> Option<(String, usize)> {
+    let mut depth = 0i32;
+    let mut j = eq + 1;
+    while j < t.len() {
+        let tok = &t[j];
+        if tok.is_punct("(") || tok.is_punct("[") || tok.is_punct("{") {
+            depth += 1;
+        } else if tok.is_punct(")") || tok.is_punct("]") || tok.is_punct("}") {
+            depth -= 1;
+            if depth < 0 {
+                return None; // ran off the enclosing block
+            }
+        } else if depth == 0 && tok.is_punct(";") {
+            return None;
+        } else if tok.is_punct(".")
+            && t.get(j + 2).is_some_and(|x| x.is_punct("("))
+            && t.get(j + 1).is_some_and(|m| {
+                m.kind == TokenKind::Ident
+                    && match kind {
+                        BoundKind::Machine => MACHINE_METHODS.contains(&m.text.as_str()),
+                        BoundKind::Lock => m.text == "lock",
+                    }
+            })
+        {
+            return Some((t[j + 1].text.clone(), j));
+        }
+        j += 1;
+    }
+    None
+}
+
+/// D5/D8 bound form: a local binding whose initializer makes a machine
+/// access (D5) or takes a `Mutex::lock` (D8), unwrapped later in the same
+/// function. The chained-call passes miss `let r = m.load(…); r.unwrap()`
+/// because the unwrap is textually far from the call; this pass closes
+/// that hole with a per-function map of binding name → originating call.
+/// A rebinding of the name (plain `let` or assignment with an untracked
+/// initializer) clears it. Parameters are deliberately out of scope: the
+/// `mop` funnels in `ufotm-tl2`/`ufotm-ustm` unwrap a *parameter* and are
+/// the audited route the chained findings point at.
+fn bound_result_unwraps(file: &SourceFile, out: &mut Vec<Finding>, kind: BoundKind) {
+    let t = &file.tokens;
+    let mut bindings: BTreeMap<String, String> = BTreeMap::new();
+    let mut i = 0usize;
+    while i < t.len() {
+        let tok = &t[i];
+        if tok.is_ident("fn") {
+            // A new function body: bindings do not flow across functions.
+            bindings.clear();
+            i += 1;
+            continue;
+        }
+        // `let [mut] name [: T] = expr ;`
+        if tok.is_ident("let") {
+            let mut j = i + 1;
+            if t.get(j).is_some_and(|x| x.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name) = t.get(j).filter(|x| x.kind == TokenKind::Ident) {
+                // Find the `=` of this let (skip any `: Type` annotation);
+                // bail at `;` (a `let name;` declaration) or `(`/`{`
+                // immediately after the name (destructuring — untracked).
+                let mut k = j + 1;
+                let mut depth = 0i32;
+                let eq = loop {
+                    let Some(x) = t.get(k) else { break None };
+                    if x.is_punct("(") || x.is_punct("[") || x.is_punct("{") {
+                        depth += 1;
+                    } else if x.is_punct(")") || x.is_punct("]") || x.is_punct("}") {
+                        depth -= 1;
+                    } else if depth == 0 && x.is_punct(";") {
+                        break None;
+                    } else if depth == 0 && x.is_punct("=") {
+                        break Some(k);
+                    }
+                    k += 1;
+                };
+                if let Some(eq) = eq {
+                    match expr_tracked_call(t, eq, kind) {
+                        Some((method, _)) => {
+                            bindings.insert(name.text.clone(), method);
+                        }
+                        None => {
+                            bindings.remove(&name.text);
+                        }
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Plain reassignment `name = expr;` re-derives the origin.
+        if tok.kind == TokenKind::Ident
+            && bindings.contains_key(&tok.text)
+            && (i == 0 || !t[i - 1].is_punct(".") && !t[i - 1].is_punct(":"))
+            && t.get(i + 1).is_some_and(|x| x.is_punct("="))
+            && !t.get(i + 2).is_some_and(|x| x.is_punct("="))
+        {
+            if expr_tracked_call(t, i + 1, kind).is_none() {
+                bindings.remove(&tok.text);
+            }
+            i += 1;
+            continue;
+        }
+        // `name.unwrap()` / `name.expect(…)` on a tracked binding.
+        if tok.kind == TokenKind::Ident
+            && (i == 0 || !t[i - 1].is_punct("."))
+            && t.get(i + 1).is_some_and(|x| x.is_punct("."))
+            && t.get(i + 3).is_some_and(|x| x.is_punct("("))
+        {
+            if let Some(panicky) = t
+                .get(i + 2)
+                .filter(|m| m.is_ident("unwrap") || m.is_ident("expect"))
+            {
+                if let Some(method) = bindings.get(&tok.text) {
+                    let (lint, fix) = match kind {
+                        BoundKind::Machine => (
+                            PANICKING_MACHINE_ACCESS,
+                            "use `PlainAccess::plain(\"what\")` (or handle the error)",
+                        ),
+                        BoundKind::Lock => (
+                            POISONED_LOCK_CASCADE,
+                            "use `ufotm_native::chaos::lock_recover` (or match the \
+                             `PoisonError`)",
+                        ),
+                    };
+                    push(
+                        out,
+                        lint,
+                        file,
+                        panicky.line,
+                        format!(
+                            "`{}.{}()` unwraps the result `.{}(…)` bound into `{}` \
+                             earlier in this function; the panic risk is the same as \
+                             the chained form — {}",
+                            tok.text, panicky.text, method, tok.text, fix
+                        ),
+                    );
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// D10: every `unsafe` block / fn / impl / trait in a [`HOST_EXEMPT`]
+/// crate must carry a `// SAFETY:` comment on the same line or in the
+/// contiguous comment run directly above. `#[unsafe(naked)]`-style
+/// attribute tokens are not flagged (the item they decorate is).
+fn unsafe_without_safety_comment(file: &SourceFile, out: &mut Vec<Finding>) {
+    let mut comment_lines: BTreeSet<u32> = BTreeSet::new();
+    let mut safety_lines: BTreeSet<u32> = BTreeSet::new();
+    for c in &file.comments {
+        for l in c.line..=c.end_line {
+            comment_lines.insert(l);
+            if c.text.contains("SAFETY:") {
+                safety_lines.insert(l);
+            }
+        }
+    }
+    let t = &file.tokens;
+    for i in 0..t.len() {
+        if !t[i].is_ident("unsafe") {
+            continue;
+        }
+        let next = t.get(i + 1);
+        if next.is_some_and(|x| x.is_punct("(")) {
+            continue; // the `unsafe(...)` attribute form
+        }
+        let what = match next {
+            Some(x) if x.is_punct("{") => "unsafe block",
+            Some(x) if x.is_ident("fn") => "unsafe fn",
+            Some(x) if x.is_ident("extern") => "unsafe extern fn",
+            Some(x) if x.is_ident("impl") => "unsafe impl",
+            Some(x) if x.is_ident("trait") => "unsafe trait",
+            _ => "unsafe item",
+        };
+        let line = t[i].line;
+        let mut justified = safety_lines.contains(&line);
+        let mut k = line.saturating_sub(1);
+        while !justified && k > 0 && comment_lines.contains(&k) {
+            justified = safety_lines.contains(&k);
+            k -= 1;
+        }
+        if !justified {
+            push(
+                out,
+                UNSAFE_WITHOUT_SAFETY_COMMENT,
+                file,
+                line,
+                format!(
+                    "{what} without a `// SAFETY:` comment (same line or the comment \
+                     block directly above): every unsafe site must record the invariant \
+                     that makes it sound, or reviewers cannot audit it"
+                ),
+            );
+        }
+    }
+}
+
+/// D9: walks the call graph from every signal-handler root and flags any
+/// reachable allocation, lock acquisition, panicking macro, or stdio
+/// macro. The message names the root and the call path, so the finding is
+/// actionable even when the offending line is several hops from the
+/// handler.
+fn signal_unsafe_reachable(files: &[SourceFile], graph: &CallGraph, out: &mut Vec<Finding>) {
+    for root in graph.roots() {
+        let reach = graph.reachable_from(root);
+        for &fi in reach.keys() {
+            let def = &graph.fns[fi];
+            let file = &files[def.file];
+            let path = graph.path_to(&reach, fi);
+            let t = &file.tokens;
+            let (start, end) = def.body;
+            for i in start..end.min(t.len()) {
+                if t[i].kind != TokenKind::Ident {
+                    continue;
+                }
+                let name = t[i].text.as_str();
+                let next_bang = t.get(i + 1).is_some_and(|x| x.is_punct("!"));
+                let next_path = t.get(i + 1).is_some_and(|x| x.is_punct(":"))
+                    && t.get(i + 2).is_some_and(|x| x.is_punct(":"));
+                let prev_dot = i > start && t[i - 1].is_punct(".");
+                let next_paren = t.get(i + 1).is_some_and(|x| x.is_punct("("));
+                let offence = if (ALLOC_TYPES.contains(&name) && next_path)
+                    || (ALLOC_MACROS.contains(&name) && next_bang)
+                    || (prev_dot && ALLOC_METHODS.contains(&name) && next_paren)
+                {
+                    Some("allocates")
+                } else if (prev_dot && name == "lock" && next_paren)
+                    || (name == "lock_recover" && next_paren)
+                {
+                    Some("takes a lock")
+                } else if PANIC_MACROS.contains(&name) && next_bang {
+                    Some("can panic")
+                } else if STDIO_MACROS.contains(&name) && next_bang {
+                    Some("locks stdio")
+                } else {
+                    None
+                };
+                if let Some(verb) = offence {
+                    push(
+                        out,
+                        SIGNAL_UNSAFE_REACHABLE,
+                        file,
+                        t[i].line,
+                        format!(
+                            "`{}` {} inside `{}`, which is reachable from signal-handler \
+                             root `{}` (call path: {}); a signal handler interrupts an \
+                             arbitrary instruction, so everything it can reach must be \
+                             async-signal-safe — atomics and raw syscalls only",
+                            name, verb, def.name, graph.fns[root].name, path
+                        ),
+                    );
+                }
+            }
         }
     }
 }

@@ -1,0 +1,22 @@
+//@ path: crates/core/src/fixture.rs
+//! D5 bound form: the machine-access result is bound to a local first and
+//! unwrapped later — the dataflow the chained pattern cannot see. A
+//! rebinding with an untracked initializer clears the taint.
+
+pub fn read_flag(m: &mut Machine, cpu: usize, addr: u64) -> u64 {
+    let r = m.load(cpu, addr);
+    r.unwrap() //~ panicking-machine-access
+}
+
+pub fn rebound_is_cleared(m: &mut Machine, cpu: usize, addr: u64) -> u64 {
+    let mut r = m.load(cpu, addr);
+    r = Ok(0);
+    r.unwrap()
+}
+
+pub struct Machine;
+impl Machine {
+    pub fn load(&mut self, _c: usize, _a: u64) -> Result<u64, ()> {
+        Ok(0)
+    }
+}

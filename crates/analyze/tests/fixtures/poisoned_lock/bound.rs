@@ -1,0 +1,17 @@
+//@ path: crates/native/src/fixture.rs
+//! D8 bound form: the lock result is bound to a local first and unwrapped
+//! later. Shadowing the binding with an untracked initializer clears it.
+
+use std::sync::Mutex;
+
+pub fn enter(gate: &Mutex<u64>) -> u64 {
+    let g = gate.lock();
+    *g.unwrap() //~ poisoned-lock-cascade
+}
+
+pub fn shadowed_is_cleared(gate: &Mutex<u64>) -> u64 {
+    let g = gate.lock();
+    drop(g);
+    let g = Some(1u64);
+    g.unwrap()
+}

@@ -1,0 +1,10 @@
+//@ path: crates/native/src/log.rs
+//@ group
+//! D9 multi-file leaf: the allocation two hops from the handler root.
+//! The finding's message names the full call path
+//! (`fault_handler -> classify_fault -> append`).
+
+pub fn append(addr: usize) {
+    let line = format!("fault at {addr:#x}"); //~ signal-unsafe-reachable
+    let _ = line;
+}

@@ -1,0 +1,8 @@
+//@ path: crates/native/src/classify.rs
+//@ group
+//! D9 multi-file mid hop: itself clean — it only forwards to the logging
+//! helper that actually allocates.
+
+pub fn classify_fault(addr: usize) {
+    crate::log::append(addr);
+}

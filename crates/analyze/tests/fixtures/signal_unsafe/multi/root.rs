@@ -1,0 +1,15 @@
+//@ path: crates/native/src/fault.rs
+//@ group
+//! D9 multi-file root: registers the handler. The violation is two call
+//! hops away, in log.rs — only the workspace call graph can see it.
+
+const SYS_RT_SIGACTION: usize = 13;
+
+fn install() {
+    let h = fault_handler as usize;
+    let _ = (SYS_RT_SIGACTION, h);
+}
+
+extern "C" fn fault_handler() {
+    crate::classify::classify_fault(0);
+}

@@ -1,0 +1,29 @@
+//@ path: crates/native/src/fixture.rs
+//! D9 negative: the handler-reachable set is atomics-only; an allocation
+//! in code the handler can never reach is not flagged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SYS_RT_SIGACTION: usize = 13;
+
+static FAULTS: AtomicU64 = AtomicU64::new(0);
+
+fn install() {
+    let h = handler as usize;
+    let _ = (SYS_RT_SIGACTION, h);
+}
+
+extern "C" fn handler() {
+    FAULTS.fetch_add(1, Ordering::SeqCst);
+    spin();
+}
+
+fn spin() {
+    while FAULTS.load(Ordering::SeqCst) == 0 {}
+}
+
+fn unrelated_host_code() -> String {
+    let mut s = String::new();
+    s.push('x');
+    s
+}

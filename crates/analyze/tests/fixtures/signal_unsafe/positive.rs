@@ -1,0 +1,30 @@
+//@ path: crates/native/src/fixture.rs
+//! D9 positive: allocation, lock, and panic reachable from a SIGSEGV
+//! handler registered via rt_sigaction — each one deadlocks or corrupts
+//! the process if the signal lands at the wrong instruction.
+
+use std::sync::Mutex;
+
+const SYS_RT_SIGACTION: usize = 13;
+
+static GATE: Mutex<u64> = Mutex::new(0);
+
+fn install() {
+    let h = handler as usize;
+    let _ = (SYS_RT_SIGACTION, h);
+}
+
+extern "C" fn handler() {
+    let msg = vec![1u8]; //~ signal-unsafe-reachable
+    let _ = msg;
+    helper();
+}
+
+fn helper() {
+    let _g = GATE.lock(); //~ signal-unsafe-reachable
+    deeper();
+}
+
+fn deeper() {
+    panic!("handler-reachable"); //~ signal-unsafe-reachable
+}

@@ -1,0 +1,10 @@
+//@ path: crates/native/src/fixture.rs
+//! D9 suppressed: a crash-path diagnostic allowed with a reason. The
+//! handler here is seeded by the explicit marker, not by an rt_sigaction
+//! registration site.
+
+// analyze: signal-handler-root
+extern "C" fn watchdog_handler() {
+    // analyze: allow(signal-unsafe-reachable) -- crash path: the process aborts right after, a torn stderr write is acceptable.
+    eprintln!("watchdog fired");
+}

@@ -1,0 +1,15 @@
+//@ path: crates/native/src/fixture.rs
+//! D10 negative: every unsafe site justified, one per accepted comment
+//! position (contiguous block above, run with a lead-in line, trailing
+//! same-line).
+
+// SAFETY: caller contract — `p` must be valid for reads and 8-aligned.
+pub unsafe fn read_word(p: *const u64) -> u64 {
+    // The deref is the whole point of the function;
+    // SAFETY: forwarded caller contract.
+    unsafe { *p }
+}
+
+pub struct Cell(u64);
+
+unsafe impl Sync for Cell {} // SAFETY: the interior word is never mutated.

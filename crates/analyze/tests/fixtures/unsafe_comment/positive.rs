@@ -1,0 +1,11 @@
+//@ path: crates/native/src/fixture.rs
+//! D10 positive: undocumented `unsafe` sites — an unexplained unsafe is
+//! an unreviewable one.
+
+pub unsafe fn read_word(p: *const u64) -> u64 { //~ unsafe-without-safety-comment
+    unsafe { *p } //~ unsafe-without-safety-comment
+}
+
+pub struct Cell(u64);
+
+unsafe impl Sync for Cell {} //~ unsafe-without-safety-comment

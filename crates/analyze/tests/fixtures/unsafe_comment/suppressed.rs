@@ -1,0 +1,5 @@
+//@ path: crates/native/src/fixture.rs
+//! D10 suppressed: a justified allow marker instead of a SAFETY comment
+//! (e.g. a generated shim whose contract lives at the definition site).
+
+pub unsafe fn ffi_shim() {} // analyze: allow(unsafe-without-safety-comment) -- generated binding shim; the contract is documented on the foreign definition.

@@ -6,12 +6,19 @@
 //! it stays quiet on the idiomatic pattern; suppressed fixtures prove the
 //! allow-marker machinery; the meta fixtures replay this repo's actual
 //! shipped bugs (PR 3, PR 4) and prove the gate would have caught them.
+//!
+//! Fixtures carrying a `//@ group` second line are analyzed *together*
+//! (all group files in the same directory form one virtual workspace), so
+//! the call-graph passes can follow edges across files — that is how the
+//! two-hops-from-the-handler D9 case is proven.
 
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use ufotm_analyze::{analyze_file, analyze_workspace, render_text, Report};
+use ufotm_analyze::{
+    analyze_file, analyze_sources, analyze_workspace, render_text, Report, SourceFile,
+};
 
 fn fixtures_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -43,6 +50,11 @@ fn expectations(src: &str) -> BTreeSet<(u32, String)> {
         }
     }
     out
+}
+
+/// Whether the fixture opts into directory-group analysis.
+fn is_group(src: &str) -> bool {
+    src.lines().nth(1).is_some_and(|l| l.trim() == "//@ group")
 }
 
 type LineLints = BTreeSet<(u32, String)>;
@@ -88,6 +100,36 @@ fn check_fixture(file: &Path) {
     }
 }
 
+/// Analyzes the files of one `//@ group` directory as a single virtual
+/// workspace; expectations are matched on (virtual path, line, lint).
+fn check_group(dir: &Path, files: &[PathBuf]) {
+    let mut sources = Vec::new();
+    let mut expected: BTreeSet<(String, u32, String)> = BTreeSet::new();
+    for file in files {
+        let src = fs::read_to_string(file).unwrap();
+        let vp = virtual_path(&src, file);
+        for (line, lint) in expectations(&src) {
+            expected.insert((vp.clone(), line, lint));
+        }
+        sources.push(SourceFile::new(&vp, &src));
+    }
+    let report = analyze_sources(sources, &[]);
+    let actual: BTreeSet<(String, u32, String)> = report
+        .findings
+        .iter()
+        .map(|f| (f.path.clone(), f.line, f.lint.to_string()))
+        .collect();
+    assert_eq!(
+        actual,
+        expected,
+        "\n== group {} ==\nmissing: {:?}\nunexpected: {:?}\nfull report:\n{}",
+        dir.display(),
+        expected.difference(&actual).collect::<Vec<_>>(),
+        actual.difference(&expected).collect::<Vec<_>>(),
+        render_text(&report),
+    );
+}
+
 /// Every fixture on disk, so a new fixture can never be silently skipped.
 fn all_fixtures() -> Vec<PathBuf> {
     let mut out = Vec::new();
@@ -109,15 +151,34 @@ fn all_fixtures() -> Vec<PathBuf> {
 #[test]
 fn every_fixture_matches_its_expectations() {
     let fixtures = all_fixtures();
-    // 8 lints × {positive, negative, suppressed} + 2 suppression-hygiene
-    // + 2 meta regressions.
+    // 10 lints × {positive, negative, suppressed} + 2 suppression-hygiene
+    // + 2 meta regressions + 2 bound-form (D5/D8) + 3 multi-file D9 group.
     assert_eq!(
         fixtures.len(),
-        28,
+        39,
         "fixture inventory drifted: {fixtures:?}"
     );
+    let mut groups: std::collections::BTreeMap<PathBuf, Vec<PathBuf>> =
+        std::collections::BTreeMap::new();
     for f in &fixtures {
-        check_fixture(f);
+        let src = fs::read_to_string(f).unwrap();
+        if is_group(&src) {
+            groups
+                .entry(f.parent().unwrap().to_path_buf())
+                .or_default()
+                .push(f.clone());
+        } else {
+            check_fixture(f);
+        }
+    }
+    assert!(!groups.is_empty(), "the multi-file D9 group went missing");
+    for (dir, files) in &groups {
+        assert!(
+            files.len() > 1,
+            "a single-file `//@ group` defeats its purpose: {}",
+            dir.display()
+        );
+        check_group(dir, files);
     }
 }
 
@@ -150,6 +211,75 @@ fn meta_pr4_shift_overflow_is_caught() {
         .filter(|f| f.lint == "unchecked-cpu-shift")
         .count();
     assert_eq!(shifts, 2, "both raw shifts must be flagged");
+}
+
+fn live_guard_source() -> (String, String) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap();
+    let path = "crates/native/src/guard.rs";
+    (
+        path.to_string(),
+        fs::read_to_string(root.join(path)).unwrap(),
+    )
+}
+
+/// The acceptance demo for D10, run against the *live* guard module:
+/// deleting its SAFETY comments makes the gate fail.
+#[test]
+fn meta_guard_without_safety_comments_is_caught() {
+    let (path, src) = live_guard_source();
+    assert!(
+        analyze_file(&path, &src).is_clean(),
+        "live guard must be clean"
+    );
+    let stripped: String = src
+        .lines()
+        .filter(|l| !l.contains("SAFETY:"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let report = analyze_file(&path, &stripped);
+    let d10 = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == "unsafe-without-safety-comment")
+        .count();
+    assert!(
+        d10 >= 8,
+        "stripping every SAFETY comment must surface the unsafe sites, got {d10}:\n{}",
+        render_text(&report)
+    );
+}
+
+/// The acceptance demo for D9, run against the *live* guard module: an
+/// allocation slipped into a `segv_handler`-reachable function makes the
+/// gate fail, and the finding names the handler root.
+#[test]
+fn meta_guard_handler_reachable_alloc_is_caught() {
+    let (path, src) = live_guard_source();
+    let needle = "fn sched_yield() {";
+    assert!(src.contains(needle), "guard.rs lost its sched_yield helper");
+    let sabotaged = src.replace(
+        needle,
+        "fn sched_yield() {\n        let _boom: Vec<u8> = Vec::new();",
+    );
+    let report = analyze_file(&path, &sabotaged);
+    let d9: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == "signal-unsafe-reachable")
+        .collect();
+    assert!(
+        !d9.is_empty(),
+        "Vec::new() in sched_yield must be flagged:\n{}",
+        render_text(&report)
+    );
+    assert!(
+        d9.iter().any(|f| f.message.contains("segv_handler")),
+        "the finding must name the handler root: {:?}",
+        d9
+    );
 }
 
 /// The gate itself: the live workspace must lint clean. Running this from

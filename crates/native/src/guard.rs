@@ -130,32 +130,45 @@ mod imp {
         a6: usize,
     ) -> isize {
         let ret: isize;
-        core::arch::asm!(
-            "syscall",
-            inlateout("rax") n as isize => ret,
-            in("rdi") a1,
-            in("rsi") a2,
-            in("rdx") a3,
-            in("r10") a4,
-            in("r8") a5,
-            in("r9") a6,
-            lateout("rcx") _,
-            lateout("r11") _,
-            options(nostack),
-        );
+        // SAFETY: the `syscall` instruction with the kernel's register
+        // convention; clobbers rcx/r11 as declared. Soundness of the call
+        // itself is the forwarded caller contract.
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") n as isize => ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                in("r10") a4,
+                in("r8") a5,
+                in("r9") a6,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
         ret
     }
 
+    // SAFETY: same contract as `syscall6` — caller passes arguments valid
+    // for syscall `n`; the tail positions are zero-filled, which every
+    // syscall used here ignores.
     unsafe fn syscall4(n: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
-        syscall6(n, a1, a2, a3, a4, 0, 0)
+        // SAFETY: forwarded caller contract.
+        unsafe { syscall6(n, a1, a2, a3, a4, 0, 0) }
     }
 
+    // SAFETY: same contract as `syscall6`; unused argument registers are 0.
     unsafe fn syscall3(n: usize, a1: usize, a2: usize, a3: usize) -> isize {
-        syscall6(n, a1, a2, a3, 0, 0, 0)
+        // SAFETY: forwarded caller contract.
+        unsafe { syscall6(n, a1, a2, a3, 0, 0, 0) }
     }
 
+    // SAFETY: same contract as `syscall6`; unused argument registers are 0.
     unsafe fn syscall2(n: usize, a1: usize, a2: usize) -> isize {
-        syscall6(n, a1, a2, 0, 0, 0, 0)
+        // SAFETY: forwarded caller contract.
+        unsafe { syscall6(n, a1, a2, 0, 0, 0, 0) }
     }
 
     /// Async-signal-safe yield, usable from inside the SIGSEGV handler.
@@ -180,6 +193,10 @@ mod imp {
     /// returns (we install with `SA_RESTORER` since there is no libc to
     /// provide one).
     #[unsafe(naked)]
+    // SAFETY: never called from Rust — the kernel jumps here on handler
+    // return with the signal frame already on the stack, which is exactly
+    // what `rt_sigreturn` (syscall 15) consumes; naked, so no prologue
+    // disturbs that frame.
     unsafe extern "C" fn restorer() {
         core::arch::naked_asm!("mov rax, 15", "syscall");
     }
@@ -243,8 +260,14 @@ mod imp {
         }
     }
 
-    /// The classifying SIGSEGV handler. Async-signal-safe by
-    /// construction: atomics, `sched_yield`, and `rt_sigaction` only.
+    /// The classifying SIGSEGV handler. Async-signal-safe: atomics,
+    /// `sched_yield`, and `rt_sigaction` only — and no longer just by
+    /// construction: the D9 `signal-unsafe-reachable` pass walks
+    /// everything reachable from here and fails `cargo xtask analyze` on
+    /// any allocation, lock, panic, or stdio drifting in.
+    // SAFETY: installed via rt_sigaction with SA_SIGINFO, so the kernel
+    // calls it with the documented (sig, siginfo, ucontext) arguments;
+    // never called from Rust.
     unsafe extern "C" fn segv_handler(
         _sig: i32,
         info: *mut core::ffi::c_void,
@@ -252,6 +275,9 @@ mod imp {
     ) {
         // x86_64 siginfo_t: si_signo/si_errno/si_code then the union;
         // for SIGSEGV the first union field (offset 16) is si_addr.
+        // SAFETY: `info` points at the kernel-written siginfo_t (SA_SIGINFO
+        // guarantees it is non-null and at least 128 bytes); offset 16 is
+        // in bounds and usize-aligned.
         let fault_addr = unsafe { core::ptr::read(info.cast::<u8>().add(16).cast::<usize>()) };
         for slot in 0..MAX_REGIONS {
             let base = REGION_BASE[slot].load(Ordering::SeqCst);
@@ -354,6 +380,9 @@ mod imp {
     // SAFETY: the mappings are process-wide shared memory accessed only
     // through `&AtomicU64` views; the raw base addresses are plain data.
     unsafe impl Send for DualMapping {}
+    // SAFETY: shared references only hand out `&AtomicU64` word views, and
+    // the window gate (a `Mutex`) serializes the only non-atomic state
+    // transitions (the mprotect flips).
     unsafe impl Sync for DualMapping {}
 
     fn mmap_shared(fd: i32, bytes: usize) -> Option<usize> {
@@ -391,6 +420,7 @@ mod imp {
             let fd = fd as i32;
             // SAFETY: freshly created memfd.
             if unsafe { syscall2(SYS_FTRUNCATE, fd as usize, bytes) } != 0 {
+                // SAFETY: fd is ours, not yet mapped or shared.
                 unsafe { syscall2(SYS_CLOSE, fd as usize, 0) };
                 return None;
             }

@@ -37,9 +37,12 @@
 //! and the mode gate quiesces the uninstrumented fast path.
 //!
 //! `unsafe` is confined to [`guard`]'s raw-syscall module; the rest of
-//! the crate denies it.
+//! the crate denies it. Inside that module every unsafe operation must
+//! sit in its own scoped block (`unsafe_op_in_unsafe_fn` is denied) with
+//! a `// SAFETY:` comment the D10 analyze pass enforces.
 
 #![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod chaos;
